@@ -1,0 +1,328 @@
+// Package repro's top-level benchmark harness regenerates every evaluation
+// artifact of the paper:
+//
+//   - BenchmarkFigure2/*   — the Figure 2(c) walk-through (one benchmark
+//     per allocation algorithm; Tmem per outer iteration is reported as a
+//     custom metric next to the paper's 1800/1560/1184).
+//   - BenchmarkTable1/*    — one benchmark per Table 1 row (kernel ×
+//     version), reporting cycles, Tmem, clock, wall-clock microseconds,
+//     slices and RAM blocks as custom metrics.
+//   - BenchmarkAblation*   — the design-choice ablations DESIGN.md calls
+//     out: RAM port count, RAM access latency, register budget, and the
+//     knapsack baseline against CPA-RA.
+//   - BenchmarkAllocator*  — the cost of the allocation algorithms
+//     themselves (the paper argues CPA-RA's exponential worst case is
+//     irrelevant on real loop bodies; these put numbers on that).
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/dfg"
+	"repro/internal/experiments"
+	"repro/internal/hls"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/rtl"
+	"repro/internal/scalarrepl"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/transform"
+)
+
+// reportDesign attaches the Table 1 columns as benchmark metrics.
+func reportDesign(b *testing.B, d *hls.Design) {
+	b.ReportMetric(float64(d.Cycles), "cycles")
+	b.ReportMetric(float64(d.MemCycles), "Tmem")
+	b.ReportMetric(d.ClockNs, "clock_ns")
+	b.ReportMetric(d.TimeUs, "time_us")
+	b.ReportMetric(float64(d.Slices), "slices")
+	b.ReportMetric(float64(d.RAMs), "BRAMs")
+	b.ReportMetric(float64(d.Registers), "registers")
+}
+
+// BenchmarkFigure2 regenerates the worked example for each algorithm.
+func BenchmarkFigure2(b *testing.B) {
+	k := kernels.Figure1()
+	for _, alg := range experiments.Versions() {
+		b.Run(alg.Name(), func(b *testing.B) {
+			var d *hls.Design
+			var err error
+			for i := 0; i < b.N; i++ {
+				d, err = hls.Estimate(k, alg, hls.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(d.Sim.MemPerOuter(k.Nest)), "Tmem_per_outer")
+			reportDesign(b, d)
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates every row of Table 1.
+func BenchmarkTable1(b *testing.B) {
+	for _, k := range kernels.All() {
+		for vi, alg := range experiments.Versions() {
+			name := fmt.Sprintf("%s_v%d_%s", k.Name, vi+1, alg.Name())
+			b.Run(name, func(b *testing.B) {
+				var d *hls.Design
+				var err error
+				for i := 0; i < b.N; i++ {
+					d, err = hls.Estimate(k, alg, hls.DefaultOptions())
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportDesign(b, d)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPorts measures the effect of dual-ported block RAMs on
+// the CPA-RA designs (the concurrency the paper's Virtex target offers).
+func BenchmarkAblationPorts(b *testing.B) {
+	for _, ports := range []int{1, 2} {
+		b.Run(fmt.Sprintf("fir_ports%d", ports), func(b *testing.B) {
+			opt := hls.DefaultOptions()
+			opt.Sched.PortsPerRAM = ports
+			var d *hls.Design
+			var err error
+			for i := 0; i < b.N; i++ {
+				d, err = hls.Estimate(kernels.FIR(), core.CPARA{}, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportDesign(b, d)
+		})
+	}
+}
+
+// BenchmarkAblationMemLatency sweeps the RAM access latency: the slower the
+// RAM, the larger CPA-RA's advantage over FR-RA.
+func BenchmarkAblationMemLatency(b *testing.B) {
+	for _, mem := range []int{1, 2, 4} {
+		for _, alg := range []core.Allocator{core.FRRA{}, core.CPARA{}} {
+			b.Run(fmt.Sprintf("figure1_mem%d_%s", mem, alg.Name()), func(b *testing.B) {
+				opt := hls.DefaultOptions()
+				opt.Sched.Lat.Mem = mem
+				var d *hls.Design
+				var err error
+				for i := 0; i < b.N; i++ {
+					d, err = hls.Estimate(kernels.Figure1(), alg, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportDesign(b, d)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationRmax sweeps the register budget for CPA-RA on the
+// running example (the knapsack size axis).
+func BenchmarkAblationRmax(b *testing.B) {
+	for _, rmax := range []int{8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("figure1_rmax%d", rmax), func(b *testing.B) {
+			opt := hls.DefaultOptions()
+			opt.Rmax = rmax
+			var d *hls.Design
+			var err error
+			for i := 0; i < b.N; i++ {
+				d, err = hls.Estimate(kernels.Figure1(), core.CPARA{}, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportDesign(b, d)
+		})
+	}
+}
+
+// BenchmarkAblationKnapsack pits the §3 optimal knapsack baseline against
+// CPA-RA on every kernel: eliminating the most accesses is not the same as
+// minimizing completion time.
+func BenchmarkAblationKnapsack(b *testing.B) {
+	for _, k := range kernels.All() {
+		for _, alg := range []core.Allocator{core.Knapsack{}, core.CPARA{}} {
+			b.Run(fmt.Sprintf("%s_%s", k.Name, alg.Name()), func(b *testing.B) {
+				var d *hls.Design
+				var err error
+				for i := 0; i < b.N; i++ {
+					d, err = hls.Estimate(k, alg, hls.DefaultOptions())
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportDesign(b, d)
+			})
+		}
+	}
+}
+
+// BenchmarkAllocatorOnly isolates the allocation algorithms' own cost
+// (no simulation): the practical answer to the worst-case-exponential
+// concern about cut enumeration.
+func BenchmarkAllocatorOnly(b *testing.B) {
+	k := kernels.Figure1()
+	prob, err := core.NewProblem(k.Nest, 64, dfg.DefaultLatencies())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range core.All() {
+		b.Run(alg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.Allocate(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorOnly isolates the cycle simulator on the largest
+// iteration space (BIC, ~208k points).
+func BenchmarkSimulatorOnly(b *testing.B) {
+	k := kernels.BIC()
+	prob, err := core.NewProblem(k.Nest, 64, dfg.DefaultLatencies())
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := (core.CPARA{}).Allocate(prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := newPlan(k, prob, alloc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Simulate(k.Nest, plan, sched.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newPlan is a small helper bridging the benchmark to the pipeline pieces.
+func newPlan(k kernels.Kernel, prob *core.Problem, alloc *core.Allocation) (*scalarrepl.Plan, error) {
+	return scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+}
+
+// BenchmarkRTLExecution runs the cycle-accurate FSMD simulation of the
+// running example (values, ports and states — the heaviest verification
+// path).
+func BenchmarkRTLExecution(b *testing.B) {
+	k := kernels.Figure1()
+	prob, err := core.NewProblem(k.Nest, 64, dfg.DefaultLatencies())
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := (core.CPARA{}).Allocate(prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fsmd, err := rtl.Build(k.Nest, plan, sched.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := ir.NewStore()
+		store.RandomizeInputs(k.Nest, 1)
+		stats, err := fsmd.Simulate(store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(stats.Cycles), "fsm_cycles")
+		}
+	}
+}
+
+// BenchmarkCodegen generates and executes the scalar-replaced program for
+// every allocator on the running example.
+func BenchmarkCodegen(b *testing.B) {
+	k := kernels.Figure1()
+	prob, err := core.NewProblem(k.Nest, 64, dfg.DefaultLatencies())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range core.All() {
+		alloc, err := alg.Allocate(prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(alg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := codegen.Verify(k.Nest, plan, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUnroll measures innermost unrolling of FIR under CPA-RA:
+// fewer, fatter iterations trade control steps for datapath parallelism.
+func BenchmarkAblationUnroll(b *testing.B) {
+	base := kernels.FIR()
+	for _, f := range []int{1, 2, 4} {
+		k := base
+		if f > 1 {
+			u, err := transform.Unroll(base.Nest, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k = kernels.Kernel{Name: fmt.Sprintf("fir_u%d", f), Nest: u, Rmax: base.Rmax, Description: "unrolled"}
+		}
+		b.Run(fmt.Sprintf("fir_unroll%d", f), func(b *testing.B) {
+			var d *hls.Design
+			var err error
+			for i := 0; i < b.N; i++ {
+				d, err = hls.Estimate(k, core.CPARA{}, hls.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportDesign(b, d)
+		})
+	}
+}
+
+// BenchmarkDependenceAnalysis measures the exact dependence scan on the
+// largest kernel trace.
+func BenchmarkDependenceAnalysis(b *testing.B) {
+	n := kernels.MAT().Nest
+	for i := 0; i < b.N; i++ {
+		if _, err := deps.Analyze(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMissCurve measures the LRU reuse-distance oracle on the FIR
+// window reference.
+func BenchmarkMissCurve(b *testing.B) {
+	n := kernels.FIR().Nest
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.LRUMisses(n, "x[i + k]", 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command sweep runs parameter sweeps over the kernel suite and writes CSV
+// for plotting: register budget, RAM latency and RAM port count, for every
+// kernel × allocator combination.
+//
+// Usage:
+//
+//	sweep -axis rmax -values 8,16,32,64,128 > rmax.csv
+//	sweep -axis memlat -values 1,2,4 -kernel fir
+//	sweep -axis ports -values 1,2
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hls"
+	"repro/internal/kernels"
+)
+
+func main() {
+	var (
+		axis   = flag.String("axis", "rmax", "sweep axis: rmax, memlat, ports")
+		values = flag.String("values", "8,16,32,64,128", "comma-separated axis values")
+		kernel = flag.String("kernel", "", "restrict to one kernel (default: all six)")
+	)
+	flag.Parse()
+	if err := run(*axis, *values, *kernel); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(axis, values, kernel string) error {
+	var vals []int
+	for _, s := range strings.Split(values, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad axis value %q", s)
+		}
+		vals = append(vals, v)
+	}
+	ks := kernels.All()
+	if kernel != "" {
+		k, err := kernels.ByName(kernel)
+		if err != nil {
+			return err
+		}
+		ks = []kernels.Kernel{k}
+	}
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := w.Write([]string{"kernel", "algorithm", axis, "registers", "cycles", "tmem", "clock_ns", "time_us", "slices", "brams"}); err != nil {
+		return err
+	}
+	for _, k := range ks {
+		for _, alg := range []core.Allocator{core.FRRA{}, core.PRRA{}, core.CPARA{}, core.Knapsack{}} {
+			for _, v := range vals {
+				opt := hls.DefaultOptions()
+				switch axis {
+				case "rmax":
+					opt.Rmax = v
+				case "memlat":
+					opt.Sched.Lat.Mem = v
+				case "ports":
+					opt.Sched.PortsPerRAM = v
+				default:
+					return fmt.Errorf("unknown axis %q (want rmax, memlat or ports)", axis)
+				}
+				d, err := hls.Estimate(k, alg, opt)
+				if err != nil {
+					return fmt.Errorf("%s/%s %s=%d: %w", k.Name, alg.Name(), axis, v, err)
+				}
+				rec := []string{
+					k.Name, alg.Name(), strconv.Itoa(v),
+					strconv.Itoa(d.Registers), strconv.Itoa(d.Cycles), strconv.Itoa(d.MemCycles),
+					fmt.Sprintf("%.1f", d.ClockNs), fmt.Sprintf("%.1f", d.TimeUs),
+					strconv.Itoa(d.Slices), strconv.Itoa(d.RAMs),
+				}
+				if err := w.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Customdsl: bring your own kernel. A 3×3 convolution (edge detector) over
+// a 64×64 image is written in the kernel DSL, pushed through the whole
+// pipeline — reuse analysis, all four allocators, storage planning, cycle
+// simulation, device fitting — and machine-verified for semantic equality
+// with the plain interpretation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/hls"
+	"repro/internal/kernels"
+	"repro/internal/reuse"
+)
+
+const src = `
+kernel conv3x3;
+array img[66][66]:8;
+array w[3][3]:8;
+array out[64][64]:16;
+for i = 0..64 {
+  for j = 0..64 {
+    for m = 0..3 {
+      for n = 0..3 {
+        out[i][j] = out[i][j] + w[m][n] * img[i + m][j + n];
+      }
+    }
+  }
+}
+`
+
+func main() {
+	nest, err := dsl.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(nest)
+
+	infos, err := reuse.Analyze(nest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreuse analysis:")
+	for _, inf := range infos {
+		fmt.Printf("  %s\n", inf)
+	}
+	fmt.Printf("full scalar replacement would need %d registers\n",
+		reuse.TotalFullReplacementRegisters(infos))
+
+	k := kernels.Kernel{Name: "conv3x3", Nest: nest, Rmax: 48, Description: "3x3 convolution"}
+	fmt.Printf("\nwith a budget of %d registers:\n", k.Rmax)
+	for _, alg := range core.All() {
+		d, err := hls.Estimate(k, alg, hls.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s Σβ=%-3d cycles=%-8d Tmem=%-7d clock=%.1fns time=%.0fµs\n",
+			alg.Name(), d.Registers, d.Cycles, d.MemCycles, d.ClockNs, d.TimeUs)
+		if err := d.Verify(3); err != nil {
+			log.Fatalf("%s: %v", alg.Name(), err)
+		}
+	}
+	fmt.Println("\nall four designs verified against the reference interpreter ✓")
+}

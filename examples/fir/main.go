@@ -1,0 +1,51 @@
+// FIR: compare the four allocation algorithms (greedy full reuse, partial
+// reuse, critical-path-aware, optimal knapsack) on the paper's 32-tap FIR
+// filter kernel and show where the critical-path-aware allocation earns its
+// cycles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hls"
+	"repro/internal/kernels"
+)
+
+func main() {
+	k := kernels.FIR()
+	fmt.Printf("%s — %s\n\n%s\n", k.Name, k.Description, k.Nest)
+
+	fmt.Printf("%-7s %6s %10s %8s %10s %9s %8s\n",
+		"algo", "regs", "cycles", "Tmem", "clock(ns)", "time(us)", "slices")
+	var base *hls.Design
+	for _, alg := range core.All() {
+		d, err := hls.Estimate(k, alg, hls.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == nil {
+			base = d
+		}
+		fmt.Printf("%-7s %6d %10d %8d %10.1f %9.1f %8d   (%.2fx vs %s)\n",
+			alg.Name(), d.Registers, d.Cycles, d.MemCycles, d.ClockNs, d.TimeUs, d.Slices,
+			d.Speedup(base), base.Algorithm)
+		if err := d.Verify(7); err != nil {
+			log.Fatalf("%s: semantics check failed: %v", alg.Name(), err)
+		}
+	}
+
+	// Show the iteration classes of the CPA-RA design: which parts of the
+	// convolution window hit registers.
+	d, err := hls.Estimate(k, core.CPARA{}, hls.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nCPA-RA iteration classes (signature over y, c, x):")
+	for _, c := range d.Sim.Classes {
+		fmt.Printf("  class %s: %6d iterations × %d cycles (%d memory levels)\n",
+			c.Signature, c.Count, c.IterCycles, c.MemCycles)
+	}
+	fmt.Println("\nall allocations verified against the reference interpreter ✓")
+}

@@ -1,0 +1,46 @@
+// Matmul: sweep the register budget on the 32×32 matrix-multiply kernel
+// and watch how the critical-path-aware allocator converts registers into
+// memory-cycle reductions — the knapsack trade-off the paper formalizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hls"
+	"repro/internal/kernels"
+)
+
+func main() {
+	k := kernels.MAT()
+	fmt.Printf("%s — %s\n\n", k.Name, k.Description)
+	fmt.Printf("%6s | %10s %10s | %10s %10s\n", "Rmax", "FR cycles", "FR Tmem", "CPA cycles", "CPA Tmem")
+	for _, rmax := range []int{3, 8, 16, 24, 32, 40, 48, 56, 64, 80, 96} {
+		opt := hls.DefaultOptions()
+		opt.Rmax = rmax
+		fr, err := hls.Estimate(k, core.FRRA{}, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpa, err := hls.Estimate(k, core.CPARA{}, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d | %10d %10d | %10d %10d\n",
+			rmax, fr.Cycles, fr.MemCycles, cpa.Cycles, cpa.MemCycles)
+	}
+	fmt.Println("\nCPA-RA exploits every extra register along the critical path;")
+	fmt.Println("FR-RA's all-or-nothing selection plateaus between full-reuse sizes.")
+
+	// Sanity: at the paper's 64-register budget, semantics still hold.
+	opt := hls.DefaultOptions()
+	d, err := hls.Estimate(k, core.CPARA{}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Verify(13); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CPA-RA design at Rmax=64 verified against the reference interpreter ✓")
+}

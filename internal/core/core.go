@@ -1,0 +1,167 @@
+// Package core implements the paper's contribution: register allocation for
+// scalar-replaced array references under a fixed register budget.
+//
+// Four allocators are provided:
+//
+//   - FRRA  — Full Reuse Register Allocation (Figure 3, variant 1): greedy
+//     by benefit/cost, all-or-nothing per reference.
+//   - PRRA  — Partial Reuse Register Allocation (Figure 3, variant 2):
+//     FR-RA plus assignment of the leftover registers for partial reuse.
+//   - CPARA — Critical-Path-Aware Register Allocation (Figure 4, the
+//     proposed algorithm): repeatedly allocates registers to the
+//     minimum-requirement cut of the Critical Graph so that every round
+//     shortens all critical paths simultaneously.
+//   - Knapsack — the §3 baseline: optimal 0/1 selection maximizing
+//     eliminated memory accesses, oblivious to the critical path.
+//
+// All allocators guarantee at least one register per reference (the operand
+// staging register that renders the computation feasible) and never exceed
+// the budget.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/ir"
+	"repro/internal/reuse"
+)
+
+// Problem is one register-allocation instance.
+type Problem struct {
+	Nest  *ir.Nest
+	Infos []*reuse.Info // reuse summary per reference, first-use order
+	Graph *dfg.Graph    // body data-flow graph
+	Rmax  int           // register budget
+	Lat   dfg.Latencies // latency model for critical-path reasoning
+}
+
+// NewProblem analyzes the nest and packages an allocation problem. A budget
+// smaller than the number of references is rejected: every reference needs
+// its staging register for the computation to be realizable at all.
+func NewProblem(nest *ir.Nest, rmax int, lat dfg.Latencies) (*Problem, error) {
+	infos, err := reuse.Analyze(nest)
+	if err != nil {
+		return nil, err
+	}
+	g, err := dfg.Build(nest)
+	if err != nil {
+		return nil, err
+	}
+	if rmax < len(infos) {
+		return nil, fmt.Errorf("core: budget %d below the %d references of %q (one staging register each)",
+			rmax, len(infos), nest.Name)
+	}
+	return &Problem{Nest: nest, Infos: infos, Graph: g, Rmax: rmax, Lat: lat}, nil
+}
+
+// InfoByKey returns the reuse info for a reference key, or nil.
+func (p *Problem) InfoByKey(key string) *reuse.Info {
+	for _, inf := range p.Infos {
+		if inf.Key() == key {
+			return inf
+		}
+	}
+	return nil
+}
+
+// Allocation is the outcome of one allocator run: the per-reference
+// register counts β plus a decision trace for diagnostics.
+type Allocation struct {
+	Algorithm string
+	Rmax      int
+	Beta      map[string]int
+	Trace     []string
+}
+
+// Total returns Σβ, the registers consumed.
+func (a *Allocation) Total() int {
+	t := 0
+	for _, b := range a.Beta {
+		t += b
+	}
+	return t
+}
+
+// Of returns β for one reference key (0 when unknown).
+func (a *Allocation) Of(key string) int { return a.Beta[key] }
+
+// FullyReplaced reports whether the reference's full reuse is captured.
+func (a *Allocation) FullyReplaced(inf *reuse.Info) bool { return a.Beta[inf.Key()] >= inf.Nu }
+
+// String renders the β vector sorted by key.
+func (a *Allocation) String() string {
+	keys := make([]string, 0, len(a.Beta))
+	for k := range a.Beta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := a.Algorithm + ":"
+	for _, k := range keys {
+		s += fmt.Sprintf(" β(%s)=%d", k, a.Beta[k])
+	}
+	return s
+}
+
+func (a *Allocation) tracef(format string, args ...any) {
+	a.Trace = append(a.Trace, fmt.Sprintf(format, args...))
+}
+
+// Allocator is the common interface of all allocation algorithms.
+type Allocator interface {
+	// Name returns the algorithm's short name (e.g. "CPA-RA").
+	Name() string
+	// Allocate solves the problem. Implementations must return a feasible
+	// allocation: β ≥ 1 for every reference and Σβ ≤ Rmax.
+	Allocate(p *Problem) (*Allocation, error)
+}
+
+// All returns the four allocators in the paper's presentation order, with
+// the knapsack baseline last.
+func All() []Allocator {
+	return []Allocator{FRRA{}, PRRA{}, CPARA{}, Knapsack{}}
+}
+
+// ByName resolves an allocator by its short name, case-sensitively.
+func ByName(name string) (Allocator, error) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown allocator %q (have FR-RA, PR-RA, CPA-RA, KS-RA)", name)
+}
+
+// newAllocation seeds β=1 for every reference: the staging register.
+func newAllocation(p *Problem, algorithm string) *Allocation {
+	a := &Allocation{Algorithm: algorithm, Rmax: p.Rmax, Beta: map[string]int{}}
+	for _, inf := range p.Infos {
+		a.Beta[inf.Key()] = 1
+	}
+	a.tracef("init: %d references, 1 staging register each, budget %d", len(p.Infos), p.Rmax)
+	return a
+}
+
+// Validate checks the feasibility invariants of an allocation against its
+// problem; allocator tests and property tests run it after every solve.
+func (a *Allocation) Validate(p *Problem) error {
+	if a.Total() > p.Rmax {
+		return fmt.Errorf("%s: allocation uses %d registers, budget %d", a.Algorithm, a.Total(), p.Rmax)
+	}
+	for _, inf := range p.Infos {
+		b, ok := a.Beta[inf.Key()]
+		if !ok || b < 1 {
+			return fmt.Errorf("%s: reference %s has β=%d, want ≥1", a.Algorithm, inf.Key(), b)
+		}
+		if b > inf.Nu {
+			return fmt.Errorf("%s: reference %s has β=%d beyond its full requirement ν=%d",
+				a.Algorithm, inf.Key(), b, inf.Nu)
+		}
+	}
+	if len(a.Beta) != len(p.Infos) {
+		return fmt.Errorf("%s: allocation covers %d references, problem has %d",
+			a.Algorithm, len(a.Beta), len(p.Infos))
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package deps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+)
+
+func analyze(t *testing.T, n *ir.Nest) []Dependence {
+	t.Helper()
+	ds, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestAccumulatorDependences: y[i] = y[i] + ... carries a flow dependence
+// of distance (0,1) on the k loop plus the loop-independent anti
+// dependence inside each iteration.
+func TestAccumulatorDependences(t *testing.T) {
+	n := dsl.MustParse(`
+array x[40]:8;
+array y[32]:16;
+for i = 0..32 {
+  for k = 0..8 {
+    y[i] = y[i] + x[i + k];
+  }
+}
+`)
+	ds := analyze(t, n)
+	var hasFlow, hasAnti bool
+	for _, d := range ds {
+		if d.Array != "y" {
+			t.Errorf("unexpected dependence on %s: %s", d.Array, d)
+		}
+		switch {
+		case d.Kind == Flow && d.Distance[0] == 0 && d.Distance[1] == 1:
+			hasFlow = true
+			if d.Carrier() != 1 {
+				t.Errorf("flow carrier = %d, want 1 (k loop)", d.Carrier())
+			}
+		case d.Kind == Anti && d.Distance[0] == 0 && d.Distance[1] == 0:
+			hasAnti = true
+			if d.Carrier() != -1 {
+				t.Errorf("loop-independent anti should have carrier -1")
+			}
+		case d.Kind == Output && d.Distance[0] == 0 && d.Distance[1] == 1:
+			// consecutive writes to the same accumulator cell
+		default:
+			t.Errorf("unexpected dependence %s", d)
+		}
+	}
+	if !hasFlow || !hasAnti {
+		t.Fatalf("missing accumulator dependences: %v", ds)
+	}
+}
+
+// TestFigure1Dependences: d[i][k] is written and read in the same
+// iteration (loop-independent flow) and re-written every j (output,
+// distance (0,1,0)); x-type inputs carry nothing.
+func TestFigure1Dependences(t *testing.T) {
+	ds := analyze(t, kernels.Figure1().Nest)
+	var sawFlowZero, sawOutputJ bool
+	for _, d := range ds {
+		if d.Array != "d" {
+			t.Errorf("only d should carry dependences, got %s", d)
+			continue
+		}
+		if d.Kind == Flow && d.Carrier() == -1 {
+			sawFlowZero = true
+		}
+		if d.Kind == Output && d.Distance[0] == 0 && d.Distance[1] == 1 && d.Distance[2] == 0 {
+			sawOutputJ = true
+		}
+	}
+	if !sawFlowZero {
+		t.Error("missing loop-independent flow d write→read")
+	}
+	if !sawOutputJ {
+		t.Error("missing j-carried output dependence on d")
+	}
+}
+
+// TestAllDistancesLexNonNegative: by construction, execution order makes
+// every dependence distance lexicographically non-negative.
+func TestAllDistancesLexNonNegative(t *testing.T) {
+	for _, k := range []kernels.Kernel{kernels.Figure1(), kernels.FIR(), kernels.MAT()} {
+		for _, d := range analyze(t, k.Nest) {
+			if !lexNonNegative(d.Distance) {
+				t.Errorf("%s: dependence with negative distance: %s", k.Name, d)
+			}
+		}
+	}
+}
+
+// TestInterchangeLegalMAT: the classic result — all three loops of matrix
+// multiply are freely interchangeable (the accumulator dependence distance
+// is non-negative in every component).
+func TestInterchangeLegalMAT(t *testing.T) {
+	n := kernels.MAT().Nest
+	for _, pq := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		legal, viol, err := InterchangeLegal(n, pq[0], pq[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !legal {
+			t.Errorf("MAT interchange %v should be legal; violations: %v", pq, viol)
+		}
+	}
+}
+
+// TestInterchangeIllegal: a wavefront recurrence x[i][j] = x[i-1][j+1]+1
+// has dependence distance (1,-1); swapping the loops flips it negative.
+func TestInterchangeIllegal(t *testing.T) {
+	n := dsl.MustParse(`
+array x[9][9]:8;
+for i = 1..8 {
+  for j = 0..8 {
+    x[i][j] = x[i - 1][j + 1] + 1;
+  }
+}
+`)
+	legal, viol, err := InterchangeLegal(n, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legal {
+		t.Fatal("wavefront interchange must be illegal")
+	}
+	found := false
+	for _, d := range viol {
+		if d.Kind == Flow && d.Distance[0] == 1 && d.Distance[1] == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected the (1,-1) flow violation, got %v", viol)
+	}
+}
+
+func TestInterchangeLegalBadArgs(t *testing.T) {
+	n := kernels.MAT().Nest
+	for _, pq := range [][2]int{{0, 0}, {-1, 1}, {0, 3}} {
+		if _, _, err := InterchangeLegal(n, pq[0], pq[1]); err == nil {
+			t.Errorf("pair %v should be rejected", pq)
+		}
+	}
+}
+
+func TestDependenceString(t *testing.T) {
+	d := Dependence{Kind: Flow, Array: "x", From: "x[i]", To: "x[i - 1]", Distance: []int{1, 0}}
+	s := d.String()
+	if !strings.Contains(s, "flow") || !strings.Contains(s, "dist=(1,0)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	if _, err := Analyze(&ir.Nest{}); err == nil {
+		t.Fatal("invalid nest should be rejected")
+	}
+}

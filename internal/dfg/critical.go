@@ -1,0 +1,295 @@
+package dfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LatencyFunc assigns a latency (in cycles) to every node. Reference nodes
+// typically cost the RAM access latency when RAM-bound and zero when
+// register-bound; operation nodes cost their functional-unit latency.
+type LatencyFunc func(*Node) int
+
+// Longest computes the DAG longest-path metrics under the latency model:
+// the total critical-path latency, distFrom[n] (max source→n latency,
+// inclusive of n) and distTo[n] (max n→sink latency, inclusive of n).
+func (g *Graph) Longest(lat LatencyFunc) (total int, distFrom, distTo []int, err error) {
+	order, err := g.Topo()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	distFrom = make([]int, len(g.Nodes))
+	distTo = make([]int, len(g.Nodes))
+	for _, n := range order {
+		best := 0
+		for _, p := range g.Pred[n] {
+			if distFrom[p] > best {
+				best = distFrom[p]
+			}
+		}
+		distFrom[n] = best + lat(g.Nodes[n])
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		best := 0
+		for _, s := range g.Succ[n] {
+			if distTo[s] > best {
+				best = distTo[s]
+			}
+		}
+		distTo[n] = best + lat(g.Nodes[n])
+	}
+	for n := range g.Nodes {
+		if distFrom[n] > total {
+			total = distFrom[n]
+		}
+	}
+	return total, distFrom, distTo, nil
+}
+
+// Critical is the Critical Graph (CG): the subgraph of a DFG induced by the
+// union of all critical (maximum-latency) paths.
+type Critical struct {
+	// Graph is the CG itself. Node objects are shared with the parent DFG.
+	Graph *Graph
+	// Total is the critical-path latency of the parent graph.
+	Total int
+	// ParentID maps CG node index → parent DFG node index.
+	ParentID []int
+}
+
+// CriticalGraph extracts the CG under the latency model. A node is on some
+// critical path iff distFrom+distTo-lat == total; an edge u→v is on some
+// critical path iff distFrom[u]+distTo[v] == total.
+func (g *Graph) CriticalGraph(lat LatencyFunc) (*Critical, error) {
+	total, distFrom, distTo, err := g.Longest(lat)
+	if err != nil {
+		return nil, err
+	}
+	cg := newGraph()
+	toCG := make([]int, len(g.Nodes))
+	var parent []int
+	for i := range toCG {
+		toCG[i] = -1
+	}
+	for i, n := range g.Nodes {
+		if distFrom[i]+distTo[i]-lat(n) == total {
+			cn := *n // shallow copy so CG IDs don't clobber parent IDs
+			added := cg.addNode(&cn)
+			toCG[i] = added.ID
+			parent = append(parent, i)
+		}
+	}
+	for u := range g.Nodes {
+		if toCG[u] < 0 {
+			continue
+		}
+		for _, v := range g.Succ[u] {
+			if toCG[v] < 0 {
+				continue
+			}
+			if distFrom[u]+distTo[v] == total {
+				cg.addEdge(toCG[u], toCG[v])
+			}
+		}
+	}
+	return &Critical{Graph: cg, Total: total, ParentID: parent}, nil
+}
+
+// Paths enumerates every source→sink path of the graph as node-index
+// sequences. Loop bodies are small (a handful of statements), so the path
+// count stays tiny; a guard still caps pathological inputs.
+func (g *Graph) Paths(limit int) ([][]int, error) {
+	if limit <= 0 {
+		limit = 1 << 16
+	}
+	var paths [][]int
+	var cur []int
+	var walk func(n int) error
+	walk = func(n int) error {
+		cur = append(cur, n)
+		defer func() { cur = cur[:len(cur)-1] }()
+		if len(g.Succ[n]) == 0 {
+			if len(paths) >= limit {
+				return fmt.Errorf("dfg: more than %d paths", limit)
+			}
+			paths = append(paths, append([]int(nil), cur...))
+			return nil
+		}
+		for _, s := range g.Succ[n] {
+			if err := walk(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range g.Sources() {
+		if err := walk(s); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}
+
+// Cut is a set of reference keys whose removal disconnects every path of
+// the critical graph, stored sorted for canonical comparison.
+type Cut []string
+
+func (c Cut) String() string { return "{" + strings.Join(c, ",") + "}" }
+
+// contains reports whether the cut includes key.
+func (c Cut) contains(key string) bool {
+	for _, k := range c {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Cuts enumerates the minimal cuts of the critical graph over its reference
+// nodes, considering only references for which eligible returns true
+// (CPA-RA excludes references that are already fully replaced). Each cut is
+// a minimal hitting set: every source→sink path of the CG contains at least
+// one node of the cut, and no proper subset has that property.
+//
+// It returns an error when some CG path contains no eligible reference — no
+// cut can shorten such a path, which is the allocator's termination signal.
+func (c *Critical) Cuts(eligible func(*Node) bool) ([]Cut, error) {
+	paths, err := c.Graph.Paths(0)
+	if err != nil {
+		return nil, err
+	}
+	// Reduce each path to its set of eligible reference keys.
+	var pathKeys []map[string]bool
+	for _, p := range paths {
+		keys := map[string]bool{}
+		for _, id := range p {
+			n := c.Graph.Nodes[id]
+			if n.Kind == KindRef && eligible(n) {
+				keys[n.RefKey] = true
+			}
+		}
+		if len(keys) == 0 {
+			return nil, fmt.Errorf("dfg: critical path with no eligible reference nodes")
+		}
+		pathKeys = append(pathKeys, keys)
+	}
+	var cuts []Cut
+	seen := map[string]bool{}
+	var extend func(chosen map[string]bool)
+	extend = func(chosen map[string]bool) {
+		// Find the first path not yet hit.
+		var uncovered map[string]bool
+		for _, keys := range pathKeys {
+			hit := false
+			for k := range keys {
+				if chosen[k] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				uncovered = keys
+				break
+			}
+		}
+		if uncovered == nil {
+			cut := canonical(chosen)
+			sig := cut.String()
+			if !seen[sig] {
+				seen[sig] = true
+				cuts = append(cuts, cut)
+			}
+			return
+		}
+		var ks []string
+		for k := range uncovered {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			chosen[k] = true
+			extend(chosen)
+			delete(chosen, k)
+		}
+	}
+	extend(map[string]bool{})
+	cuts = minimalOnly(cuts)
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i].String() < cuts[j].String() })
+	return cuts, nil
+}
+
+func canonical(set map[string]bool) Cut {
+	var cut Cut
+	for k := range set {
+		cut = append(cut, k)
+	}
+	sort.Strings(cut)
+	return cut
+}
+
+// minimalOnly removes cuts that are supersets of another cut.
+func minimalOnly(cuts []Cut) []Cut {
+	var out []Cut
+	for i, c := range cuts {
+		minimal := true
+		for j, o := range cuts {
+			if i == j || len(o) >= len(c) {
+				continue
+			}
+			subset := true
+			for _, k := range o {
+				if !c.contains(k) {
+					subset = false
+					break
+				}
+			}
+			if subset {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Disconnects verifies the defining property of a cut against the CG:
+// removing the cut's reference nodes leaves no source→sink path. Exposed
+// for property-based testing.
+func (c *Critical) Disconnects(cut Cut) bool {
+	removed := map[int]bool{}
+	for i, n := range c.Graph.Nodes {
+		if n.Kind == KindRef && cut.contains(n.RefKey) {
+			removed[i] = true
+		}
+	}
+	// DFS from sources avoiding removed nodes.
+	g := c.Graph
+	visited := make([]bool, len(g.Nodes))
+	var stack []int
+	for _, s := range g.Sources() {
+		if !removed[s] {
+			stack = append(stack, s)
+			visited[s] = true
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(g.Succ[n]) == 0 {
+			return false // reached a sink
+		}
+		for _, nxt := range g.Succ[n] {
+			if !removed[nxt] && !visited[nxt] {
+				visited[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,298 @@
+// Package dfg builds and analyzes the data-flow graph abstraction of a loop
+// body that the paper's critical-path-aware allocator reasons about: array
+// references and operations as nodes, data dependences as edges, path
+// latency driven by whether each reference is bound to a register (free) or
+// a RAM block (one access latency).
+//
+// It provides the three graph computations CPA-RA needs (Figure 4):
+// critical path extraction, the Critical Graph (union of all critical
+// paths), and enumeration of the minimal cuts of the Critical Graph over
+// its reference nodes.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// NodeKind distinguishes reference nodes from operation nodes.
+type NodeKind int
+
+const (
+	// KindRef is an array-reference node (a potential memory access).
+	KindRef NodeKind = iota
+	// KindOp is an arithmetic/logic operation node.
+	KindOp
+)
+
+// Node is one vertex of the data-flow graph.
+type Node struct {
+	ID   int
+	Kind NodeKind
+
+	// Reference fields (KindRef).
+	Ref     *ir.ArrayRef
+	RefKey  string // canonical reference identity, e.g. "b[k][j]"
+	IsWrite bool   // the node receives a stored value
+	IsRead  bool   // the node's value is consumed by an operation
+
+	// Operation fields (KindOp).
+	Op ir.OpKind
+	// Args are the operation's operands in source order (KindOp), or the
+	// stored value's producer (KindRef with IsWrite, single element).
+	// Operands that are literals or loop counters do not become graph
+	// nodes — they are datapath-internal — but RTL-level execution needs
+	// them, so they are recorded here.
+	Args []Arg
+
+	// Stmt is the body statement that introduced the node.
+	Stmt int
+}
+
+// Arg is one operand of an operation node: a producing node, an integer
+// literal, or a loop counter.
+type Arg struct {
+	NodeID int // producing node, valid when Lit == nil and Var == ""
+	Lit    *int64
+	Var    string
+}
+
+// Label renders a short human-readable node description.
+func (n *Node) Label() string {
+	if n.Kind == KindRef {
+		return n.RefKey
+	}
+	return fmt.Sprintf("op%d(%s)", n.ID, n.Op)
+}
+
+// Graph is a DAG over Nodes. Edges point in the direction of data flow.
+type Graph struct {
+	Nodes []*Node
+	Succ  [][]int
+	Pred  [][]int
+}
+
+func newGraph() *Graph { return &Graph{} }
+
+func (g *Graph) addNode(n *Node) *Node {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	g.Succ = append(g.Succ, nil)
+	g.Pred = append(g.Pred, nil)
+	return n
+}
+
+func (g *Graph) addEdge(from, to int) {
+	for _, s := range g.Succ[from] {
+		if s == to {
+			return
+		}
+	}
+	g.Succ[from] = append(g.Succ[from], to)
+	g.Pred[to] = append(g.Pred[to], from)
+}
+
+// Sources returns nodes without predecessors (pure inputs).
+func (g *Graph) Sources() []int {
+	var out []int
+	for i := range g.Nodes {
+		if len(g.Pred[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sinks returns nodes without successors (pure outputs).
+func (g *Graph) Sinks() []int {
+	var out []int
+	for i := range g.Nodes {
+		if len(g.Succ[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RefKeys returns the distinct reference keys present in the graph, sorted.
+func (g *Graph) RefKeys() []string {
+	set := map[string]bool{}
+	for _, n := range g.Nodes {
+		if n.Kind == KindRef {
+			set[n.RefKey] = true
+		}
+	}
+	var out []string
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the data-flow graph of the nest's body, one iteration's
+// worth of computation. Reference identity follows the paper: a value
+// written by one statement and read by a later statement in the same
+// iteration is a single node (write-in, read-out), so a RAM-bound reference
+// on the path costs one access. A read that precedes the write of the same
+// reference (a loop-carried accumulator such as y[i] = y[i] + ...) yields
+// two nodes — the iteration genuinely performs a load and a store.
+//
+// Distinct references to the same array may alias, so Build also inserts
+// conservative memory-dependence edges (read-after-write, write-after-read,
+// write-after-write) between them in body order; without these, schedulers
+// consuming the graph could reorder an access past an aliasing write.
+func Build(nest *ir.Nest) (*Graph, error) {
+	if err := nest.Validate(); err != nil {
+		return nil, fmt.Errorf("dfg: %w", err)
+	}
+	g := newGraph()
+	// written maps a reference key to the node holding the value produced
+	// by the most recent write in body order.
+	written := map[string]*Node{}
+	// inputs maps a reference key to its input (read-before-write) node.
+	inputs := map[string]*Node{}
+	// Per-array memory-dependence state: the latest write node and the
+	// reads issued since it (body order).
+	lastWrite := map[string]*Node{}
+	readsSince := map[string][]*Node{}
+
+	readNode := func(r *ir.ArrayRef, stmt int) *Node {
+		key := r.Key()
+		arr := r.Array.Name
+		if n, ok := written[key]; ok && lastWrite[arr] == n {
+			// Forwarding is sound only while this key's write is still the
+			// array's most recent write (no aliasing store intervened).
+			n.IsRead = true
+			return n
+		}
+		if n, ok := inputs[key]; ok && afterLastWrite(g, n, lastWrite[arr]) {
+			return n
+		}
+		n := g.addNode(&Node{Kind: KindRef, Ref: r, RefKey: key, IsRead: true, Stmt: stmt})
+		if w := lastWrite[arr]; w != nil {
+			g.addEdge(w.ID, n.ID) // read-after-write on a possible alias
+		}
+		inputs[key] = n
+		readsSince[arr] = append(readsSince[arr], n)
+		return n
+	}
+
+	// buildExpr lowers an expression to an Arg: a node reference for array
+	// reads and operations, an immediate for literals and loop counters.
+	var buildExpr func(e ir.Expr, stmt int) (Arg, error)
+	buildExpr = func(e ir.Expr, stmt int) (Arg, error) {
+		switch e := e.(type) {
+		case *ir.ArrayRef:
+			return Arg{NodeID: readNode(e, stmt).ID}, nil
+		case *ir.IntLit:
+			v := e.Value
+			return Arg{Lit: &v}, nil
+		case *ir.VarRef:
+			return Arg{Var: e.Name}, nil
+		case *ir.BinOp:
+			l, err := buildExpr(e.L, stmt)
+			if err != nil {
+				return Arg{}, err
+			}
+			r, err := buildExpr(e.R, stmt)
+			if err != nil {
+				return Arg{}, err
+			}
+			op := g.addNode(&Node{Kind: KindOp, Op: e.Op, Args: []Arg{l, r}, Stmt: stmt})
+			for _, a := range []Arg{l, r} {
+				if a.Lit == nil && a.Var == "" {
+					g.addEdge(a.NodeID, op.ID)
+				}
+			}
+			return Arg{NodeID: op.ID}, nil
+		default:
+			return Arg{}, fmt.Errorf("dfg: unsupported expression %T", e)
+		}
+	}
+
+	for si, st := range nest.Body {
+		root, err := buildExpr(st.RHS, si)
+		if err != nil {
+			return nil, err
+		}
+		key := st.LHS.Key()
+		arr := st.LHS.Array.Name
+		w := g.addNode(&Node{Kind: KindRef, Ref: st.LHS, RefKey: key, IsWrite: true, Stmt: si, Args: []Arg{root}})
+		if root.Lit == nil && root.Var == "" {
+			g.addEdge(root.NodeID, w.ID)
+		}
+		// Write-after-write on the array (covers same-key store ordering).
+		if prev := lastWrite[arr]; prev != nil {
+			g.addEdge(prev.ID, w.ID)
+		}
+		// Write-after-read: the store may clobber elements earlier reads of
+		// aliasing references still need.
+		for _, r := range readsSince[arr] {
+			if r.ID != w.ID {
+				g.addEdge(r.ID, w.ID)
+			}
+		}
+		readsSince[arr] = nil
+		lastWrite[arr] = w
+		written[key] = w
+	}
+	return g, nil
+}
+
+// afterLastWrite reports whether node n was created after the array's
+// latest write (node ids grow in creation order), i.e. its cached value
+// cannot have been clobbered by an aliasing store.
+func afterLastWrite(g *Graph, n, lastWrite *Node) bool {
+	return lastWrite == nil || n.ID > lastWrite.ID
+}
+
+// String renders the graph in a deterministic adjacency format for
+// debugging and golden tests.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for i, n := range g.Nodes {
+		fmt.Fprintf(&b, "%d: %s", i, n.Label())
+		if len(g.Succ[i]) > 0 {
+			fmt.Fprintf(&b, " ->")
+			for _, s := range g.Succ[i] {
+				fmt.Fprintf(&b, " %d", s)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Topo returns a topological order of the graph. Build only produces DAGs;
+// Topo returns an error if edges added by other means created a cycle.
+func (g *Graph) Topo() ([]int, error) {
+	indeg := make([]int, len(g.Nodes))
+	for i := range g.Nodes {
+		indeg[i] = len(g.Pred[i])
+	}
+	var order, queue []int
+	for i := range g.Nodes {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, s := range g.Succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("dfg: graph has a cycle")
+	}
+	return order, nil
+}

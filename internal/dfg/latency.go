@@ -1,0 +1,54 @@
+package dfg
+
+import "repro/internal/ir"
+
+// Latencies is the operator/memory latency model shared by the allocators
+// and the cycle-level scheduler. The paper's abstraction assigns a memory
+// access either 0 (register-resident) or a fixed RAM latency, and assumes
+// known latencies for numeric operations.
+type Latencies struct {
+	// Mem is the latency, in cycles, of one RAM-block access.
+	Mem int
+	// Op maps operator kinds to latencies; DefaultOp covers absent entries.
+	Op        map[ir.OpKind]int
+	DefaultOp int
+}
+
+// DefaultLatencies returns the model used throughout the reproduction:
+// RAM access 1 cycle; adds, logic and comparisons 1 cycle; multiplies 2;
+// divides 8; constant shifts are wiring and cost nothing.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		Mem: 1,
+		Op: map[ir.OpKind]int{
+			ir.OpMul: 2,
+			ir.OpDiv: 8,
+			ir.OpShl: 0,
+			ir.OpShr: 0,
+		},
+		DefaultOp: 1,
+	}
+}
+
+// OpLat returns the latency of one operator.
+func (l Latencies) OpLat(op ir.OpKind) int {
+	if v, ok := l.Op[op]; ok {
+		return v
+	}
+	return l.DefaultOp
+}
+
+// NodeLat builds a LatencyFunc where reference nodes for which inReg
+// returns true are register-resident (free) and all others pay the RAM
+// access latency.
+func (l Latencies) NodeLat(inReg func(key string) bool) LatencyFunc {
+	return func(n *Node) int {
+		if n.Kind == KindRef {
+			if inReg != nil && inReg(n.RefKey) {
+				return 0
+			}
+			return l.Mem
+		}
+		return l.OpLat(n.Op)
+	}
+}

@@ -1,0 +1,82 @@
+package dsl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irgen"
+)
+
+func TestFormatParsesBack(t *testing.T) {
+	n1, err := Parse(figure1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Format(n1)
+	n2, err := Parse(src)
+	if err != nil {
+		t.Fatalf("formatted source does not parse: %v\n%s", err, src)
+	}
+	if n1.String() != n2.String() {
+		t.Fatalf("round trip changed the nest:\n%s\nvs\n%s", n1, n2)
+	}
+}
+
+// TestFormatRoundTripRandom: for random generated nests, Format→Parse
+// yields a structurally identical nest with identical semantics.
+func TestFormatRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		n1 := irgen.Nest(rng, irgen.Config{})
+		src := Format(n1)
+		n2, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: formatted source rejected: %v\n%s", trial, err, src)
+		}
+		// Negative literals lower to (0 - n), so exact structural equality
+		// does not hold; the formatter must however reach a fixed point
+		// after one round trip.
+		if src2 := Format(n2); src2 != src {
+			t.Fatalf("trial %d: formatter not idempotent:\n%s\nvs\n%s", trial, src, src2)
+		}
+		s1, s2 := ir.NewStore(), ir.NewStore()
+		s1.RandomizeInputs(n1, int64(trial))
+		s2.RandomizeInputs(n2, int64(trial))
+		if _, err := ir.Interp(n1, s1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ir.Interp(n2, s2); err != nil {
+			t.Fatal(err)
+		}
+		if eq, diff := s1.Equal(s2); !eq {
+			t.Fatalf("trial %d: semantics changed: %s", trial, diff)
+		}
+	}
+}
+
+func TestFormatNegativeLiteralsAndSteps(t *testing.T) {
+	x := ir.NewArray("x", 8, 16)
+	n := &ir.Nest{
+		Name:  "neg",
+		Loops: []ir.Loop{{Var: "i", Lo: 0, Hi: 16, Step: 4}},
+		Body: []*ir.Assign{
+			{LHS: ir.Ref(x, ir.AffVar("i")), RHS: ir.Bin(ir.OpAdd, ir.Lit(-7), ir.LoopVar("i"))},
+		},
+	}
+	src := Format(n)
+	if !strings.Contains(src, "step 4") {
+		t.Errorf("missing step clause:\n%s", src)
+	}
+	if !strings.Contains(src, "(0 - 7)") {
+		t.Errorf("negative literal not lowered:\n%s", src)
+	}
+	n2, err := Parse(src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	if n2.Loops[0].Step != 4 {
+		t.Error("step lost in round trip")
+	}
+}

@@ -1,0 +1,134 @@
+// Package dsl implements a small C-like textual language for describing the
+// perfectly nested loop kernels the allocator consumes, so that kernels and
+// examples can be written as source text rather than hand-built IR.
+//
+// Example:
+//
+//	kernel figure1;
+//	array a[30]:8; array b[30][20]:8; array c[20]:8;
+//	array d[2][30]:8; array e[2][20][30]:8;
+//	for i = 0..2 {
+//	  for j = 0..20 {
+//	    for k = 0..30 {
+//	      d[i][k] = a[k] * b[k][j];
+//	      e[i][j][k] = c[j] * d[i][k];
+//	    }
+//	  }
+//	}
+package dsl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokPunct // single/double character punctuation and operators
+)
+
+// token is one lexical token with its source position (1-based line/col).
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("number %s", t.text)
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a parse or lex error with source position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// twoCharPuncts are the multi-character operators, longest-match-first.
+var twoCharPuncts = []string{"..", "==", "!=", "<=", ">=", "<<", ">>"}
+
+// lex tokenizes src. Comments run from "//" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for j := 0; j < n; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsDigit(rune(c)):
+			start, l0, c0 := i, line, col
+			for i < len(src) && unicode.IsDigit(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, token{tokInt, src[start:i], l0, c0})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start, l0, c0 := i, line, col
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			toks = append(toks, token{tokIdent, src[start:i], l0, c0})
+		default:
+			l0, c0 := line, col
+			matched := false
+			for _, p := range twoCharPuncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{tokPunct, p, l0, c0})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("[](){}=;:,+-*/&|^<>!", rune(c)) {
+				toks = append(toks, token{tokPunct, string(c), l0, c0})
+				advance(1)
+				continue
+			}
+			return nil, errAt(l0, c0, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}

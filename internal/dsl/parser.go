@@ -1,0 +1,491 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ir"
+)
+
+// Parse parses a kernel description and returns the validated loop nest.
+//
+// Grammar (EBNF):
+//
+//	program   = [ "kernel" ident ";" ] { arrayDecl } loop .
+//	arrayDecl = "array" ident dim { dim } [ ":" int ] ";" .   // default 8 bits
+//	dim       = "[" int "]" .
+//	loop      = "for" ident "=" affine ".." affine [ "step" int ] "{" body "}" .
+//	body      = loop | stmt { stmt } .
+//	stmt      = ref "=" expr ";" .
+//	ref       = ident "[" affine "]" { "[" affine "]" } .
+//	expr      = precedence-climbing over | ^ & (==,!=,<,<=) (<<,>>) (+,-) (*,/)
+//	            with primaries: int, ref, loop variable, min(e,e), max(e,e), (e).
+//	affine    = affine expression over loop variables and integers; products
+//	            are accepted only when one operand is constant.
+//
+// Bodies enforce the perfect-nest requirement: statements may appear only in
+// the innermost loop.
+func Parse(src string) (*ir.Nest, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, arrays: map[string]*ir.Array{}}
+	nest, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := nest.Validate(); err != nil {
+		return nil, err
+	}
+	return nest, nil
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	arrays map[string]*ir.Array
+	loops  []ir.Loop // loop variables currently in scope, outermost first
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(s string) bool {
+	t := p.peek()
+	return t.kind == tokPunct && t.text == s
+}
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == kw
+}
+
+func (p *parser) expect(s string) (token, error) {
+	if !p.at(s) {
+		t := p.peek()
+		return t, errAt(t.line, t.col, "expected %q, found %s", s, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return t, errAt(t.line, t.col, "expected identifier, found %s", t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectInt() (int, token, error) {
+	t := p.peek()
+	if t.kind != tokInt {
+		return 0, t, errAt(t.line, t.col, "expected number, found %s", t)
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, t, errAt(t.line, t.col, "bad number %q", t.text)
+	}
+	return v, p.next(), nil
+}
+
+func (p *parser) program() (*ir.Nest, error) {
+	nest := &ir.Nest{}
+	if p.atKeyword("kernel") {
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		nest.Name = name.text
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	for p.atKeyword("array") {
+		if err := p.arrayDecl(); err != nil {
+			return nil, err
+		}
+	}
+	if !p.atKeyword("for") {
+		t := p.peek()
+		return nil, errAt(t.line, t.col, "expected \"for\", found %s", t)
+	}
+	loops, body, err := p.loop()
+	if err != nil {
+		return nil, err
+	}
+	nest.Loops = loops
+	nest.Body = body
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, errAt(t.line, t.col, "unexpected trailing input: %s", t)
+	}
+	return nest, nil
+}
+
+func (p *parser) arrayDecl() error {
+	p.next() // "array"
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.arrays[name.text]; dup {
+		return errAt(name.line, name.col, "array %q redeclared", name.text)
+	}
+	var dims []int
+	for p.at("[") {
+		p.next()
+		d, dt, err := p.expectInt()
+		if err != nil {
+			return err
+		}
+		if d <= 0 {
+			return errAt(dt.line, dt.col, "array %q: dimension must be positive, got %d", name.text, d)
+		}
+		dims = append(dims, d)
+		if _, err := p.expect("]"); err != nil {
+			return err
+		}
+	}
+	if len(dims) == 0 {
+		return errAt(name.line, name.col, "array %q has no dimensions", name.text)
+	}
+	bits := 8
+	if p.at(":") {
+		p.next()
+		b, bt, err := p.expectInt()
+		if err != nil {
+			return err
+		}
+		if b < 1 || b > 64 {
+			return errAt(bt.line, bt.col, "array %q: element width %d out of range [1,64]", name.text, b)
+		}
+		bits = b
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	p.arrays[name.text] = ir.NewArray(name.text, bits, dims...)
+	return nil
+}
+
+// loop parses one for-loop and everything below it, returning the loops in
+// nest order plus the innermost body.
+func (p *parser) loop() ([]ir.Loop, []*ir.Assign, error) {
+	p.next() // "for"
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, l := range p.loops {
+		if l.Var == v.text {
+			return nil, nil, errAt(v.line, v.col, "loop variable %q shadows an enclosing loop", v.text)
+		}
+	}
+	if _, ok := p.arrays[v.text]; ok {
+		return nil, nil, errAt(v.line, v.col, "loop variable %q collides with an array name", v.text)
+	}
+	if _, err := p.expect("="); err != nil {
+		return nil, nil, err
+	}
+	lo, _, err := p.expectInt()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expect(".."); err != nil {
+		return nil, nil, err
+	}
+	hi, _, err := p.expectInt()
+	if err != nil {
+		return nil, nil, err
+	}
+	step := 1
+	if p.atKeyword("step") {
+		p.next()
+		step, _, err = p.expectInt()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, nil, err
+	}
+	this := ir.Loop{Var: v.text, Lo: lo, Hi: hi, Step: step}
+	p.loops = append(p.loops, this)
+	defer func() { p.loops = p.loops[:len(p.loops)-1] }()
+
+	var loops []ir.Loop
+	var body []*ir.Assign
+	if p.atKeyword("for") {
+		inner, innerBody, err := p.loop()
+		if err != nil {
+			return nil, nil, err
+		}
+		loops = append([]ir.Loop{this}, inner...)
+		body = innerBody
+	} else {
+		loops = []ir.Loop{this}
+		for !p.at("}") {
+			st, err := p.stmt()
+			if err != nil {
+				return nil, nil, err
+			}
+			body = append(body, st)
+		}
+		if len(body) == 0 {
+			t := p.peek()
+			return nil, nil, errAt(t.line, t.col, "loop body is empty")
+		}
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, nil, err
+	}
+	return loops, body, nil
+}
+
+func (p *parser) stmt() (*ir.Assign, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, errAt(t.line, t.col, "expected statement, found %s", t)
+	}
+	lhs, err := p.ref()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expr(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &ir.Assign{LHS: lhs, RHS: rhs}, nil
+}
+
+func (p *parser) ref() (*ir.ArrayRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	arr, ok := p.arrays[name.text]
+	if !ok {
+		return nil, errAt(name.line, name.col, "unknown array %q", name.text)
+	}
+	var index []ir.Affine
+	for p.at("[") {
+		p.next()
+		a, err := p.affine(0)
+		if err != nil {
+			return nil, err
+		}
+		index = append(index, a)
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if len(index) != len(arr.Dims) {
+		return nil, errAt(name.line, name.col, "array %q needs %d indices, got %d", name.text, len(arr.Dims), len(index))
+	}
+	return ir.Ref(arr, index...), nil
+}
+
+// Binary operator precedence for expressions, lowest first.
+var binPrec = map[string]int{
+	"|": 1, "^": 2, "&": 3,
+	"==": 4, "!=": 4, "<": 4, "<=": 4,
+	"<<": 5, ">>": 5,
+	"+": 6, "-": 6,
+	"*": 7, "/": 7,
+}
+
+var binOpKind = map[string]ir.OpKind{
+	"|": ir.OpOr, "^": ir.OpXor, "&": ir.OpAnd,
+	"==": ir.OpEq, "!=": ir.OpNe, "<": ir.OpLt, "<=": ir.OpLe,
+	"<<": ir.OpShl, ">>": ir.OpShr,
+	"+": ir.OpAdd, "-": ir.OpSub,
+	"*": ir.OpMul, "/": ir.OpDiv,
+}
+
+func (p *parser) expr(minPrec int) (ir.Expr, error) {
+	lhs, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.expr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = ir.Bin(binOpKind[t.text], lhs, rhs)
+	}
+}
+
+func (p *parser) primary() (ir.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokInt:
+		v, _, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		return ir.Lit(int64(v)), nil
+	case p.at("("):
+		p.next()
+		e, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent && (t.text == "min" || t.text == "max"):
+		p.next()
+		op := ir.OpMin
+		if t.text == "max" {
+			op = ir.OpMax
+		}
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		a, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(","); err != nil {
+			return nil, err
+		}
+		b, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return ir.Bin(op, a, b), nil
+	case t.kind == tokIdent:
+		if _, isArr := p.arrays[t.text]; isArr {
+			return p.ref()
+		}
+		if p.inScope(t.text) {
+			p.next()
+			return ir.LoopVar(t.text), nil
+		}
+		return nil, errAt(t.line, t.col, "unknown identifier %q (not an array or loop variable)", t.text)
+	default:
+		return nil, errAt(t.line, t.col, "expected expression, found %s", t)
+	}
+}
+
+func (p *parser) inScope(v string) bool {
+	for _, l := range p.loops {
+		if l.Var == v {
+			return true
+		}
+	}
+	return false
+}
+
+// affine parses index expressions restricted to affine form. It supports
+// + and - at the top level and * where at least one factor is constant.
+func (p *parser) affine(minPrec int) (ir.Affine, error) {
+	lhs, err := p.affinePrimary()
+	if err != nil {
+		return ir.Affine{}, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		var prec int
+		switch t.text {
+		case "+", "-":
+			prec = 1
+		case "*":
+			prec = 2
+		default:
+			return lhs, nil
+		}
+		if prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.affine(prec + 1)
+		if err != nil {
+			return ir.Affine{}, err
+		}
+		switch t.text {
+		case "+":
+			lhs = lhs.Add(rhs)
+		case "-":
+			lhs = lhs.Sub(rhs)
+		case "*":
+			switch {
+			case rhs.IsConst():
+				lhs = lhs.Scale(rhs.Const)
+			case lhs.IsConst():
+				lhs = rhs.Scale(lhs.Const)
+			default:
+				return ir.Affine{}, errAt(t.line, t.col, "non-affine index: product of two loop variables")
+			}
+		}
+	}
+}
+
+func (p *parser) affinePrimary() (ir.Affine, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokInt:
+		v, _, err := p.expectInt()
+		if err != nil {
+			return ir.Affine{}, err
+		}
+		return ir.AffConst(v), nil
+	case p.at("-"):
+		p.next()
+		a, err := p.affinePrimary()
+		if err != nil {
+			return ir.Affine{}, err
+		}
+		return a.Scale(-1), nil
+	case p.at("("):
+		p.next()
+		a, err := p.affine(0)
+		if err != nil {
+			return ir.Affine{}, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return ir.Affine{}, err
+		}
+		return a, nil
+	case t.kind == tokIdent:
+		if !p.inScope(t.text) {
+			return ir.Affine{}, errAt(t.line, t.col, "index uses %q which is not an enclosing loop variable", t.text)
+		}
+		p.next()
+		return ir.AffVar(t.text), nil
+	default:
+		return ir.Affine{}, errAt(t.line, t.col, "expected index expression, found %s", t)
+	}
+}
+
+// MustParse is a convenience for building kernels from trusted literals in
+// tests and kernel constructors; it panics on error.
+func MustParse(src string) *ir.Nest {
+	n, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("dsl.MustParse: %v", err))
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+// Package fpga models the target device — slices, block RAMs, achievable
+// clock — standing in for the paper's Synplify Pro + Xilinx ISE flow on a
+// Virtex XCV1000 BG560.
+//
+// The models are analytic and calibrated, not extracted from a netlist; the
+// paper's conclusions need only their trends (slices grow with datapath and
+// register count; the clock degrades mildly with register-file fan-in and
+// control complexity, ~8% on average for the CPA-RA designs). DESIGN.md §4
+// records the calibration constants.
+package fpga
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Device describes one FPGA part.
+type Device struct {
+	Name         string
+	Slices       int
+	BlockRAMs    int
+	BlockRAMBits int
+	// DualPort reports whether block RAMs can be configured dual-ported.
+	DualPort bool
+}
+
+// XCV1000 returns the paper's target: a Xilinx Virtex XCV1000 BG560 —
+// 12288 slices and 32 dual-portable 4-kbit block RAMs.
+func XCV1000() Device {
+	return Device{Name: "XCV1000-BG560", Slices: 12288, BlockRAMs: 32, BlockRAMBits: 4096, DualPort: true}
+}
+
+// DesignStats summarizes one hardware design for the area/clock models.
+type DesignStats struct {
+	// OpCounts is the number of datapath operators instantiated, by kind.
+	OpCounts map[ir.OpKind]int
+	// Width is the datapath width in bits (widest element involved).
+	Width int
+	// Registers is the number of data registers (Σβ) and RegisterBits
+	// their total width.
+	Registers    int
+	RegisterBits int
+	// Classes is the number of distinct steady-state iteration behaviours
+	// the controller must sequence (more classes → wider state decode).
+	Classes int
+	// Depth is the loop-nest depth (one counter per level).
+	Depth int
+	// RAMArrays lists the bit sizes of the arrays that remain RAM-mapped.
+	RAMArrays []int
+}
+
+// Slices estimates the slice count of the design.
+//
+// Per-operator costs follow Virtex-era LUT structures: ripple adds and
+// comparisons cost ~w/2 slices, LUT-based multipliers ~w²/4, dividers
+// ~w²/2, logic ~w/2, constant shifts are wiring. Registers cost one slice
+// per two bits (two flip-flops per slice); the register-file read network
+// costs ~w/8 slices per register of fan-in; control contributes per loop
+// counter and per iteration class.
+func (d Device) SlicesFor(s DesignStats) int {
+	w := s.Width
+	slices := 0
+	for op, n := range s.OpCounts {
+		slices += n * opSlices(op, w)
+	}
+	slices += (s.RegisterBits + 1) / 2
+	slices += s.Registers * w / 8
+	slices += s.Depth*8 + s.Classes*6 + 24
+	return slices
+}
+
+func opSlices(op ir.OpKind, w int) int {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpMin, ir.OpMax:
+		return w/2 + 1
+	case ir.OpMul:
+		return w*w/4 + 2
+	case ir.OpDiv:
+		return w*w/2 + 4
+	case ir.OpAnd, ir.OpOr, ir.OpXor:
+		return (w + 1) / 2
+	case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe:
+		return w/2 + 1
+	case ir.OpShl, ir.OpShr:
+		return 0
+	default:
+		return w
+	}
+}
+
+// ClockNs estimates the post-P&R clock period in nanoseconds:
+// a device base, the slowest single-cycle datapath stage, a register-file
+// fan-in term that grows with the number of registers the muxing network
+// must reach, and a control-decode term that grows with the number of
+// iteration classes.
+func (d Device) ClockNs(s DesignStats) float64 {
+	period := 20.0
+	stage := 8.0 // RAM access stage
+	for op, n := range s.OpCounts {
+		if n == 0 {
+			continue
+		}
+		if t := opStageNs(op, s.Width); t > stage {
+			stage = t
+		}
+	}
+	period += stage
+	period += 0.06 * float64(s.Registers)
+	period += 2.0 * math.Log2(float64(1+s.Classes))
+	return math.Round(period*10) / 10
+}
+
+func opStageNs(op ir.OpKind, w int) float64 {
+	fw := float64(w)
+	switch op {
+	case ir.OpMul:
+		return 10 + 0.2*fw // multi-cycle unit: per-stage delay
+	case ir.OpDiv:
+		return 9 + 0.15*fw
+	case ir.OpAdd, ir.OpSub, ir.OpMin, ir.OpMax, ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe:
+		return 4 + 0.15*fw
+	case ir.OpAnd, ir.OpOr, ir.OpXor:
+		return 2 + 0.05*fw
+	default:
+		return 3
+	}
+}
+
+// RAMBlocks returns how many block RAMs the RAM-mapped arrays occupy
+// (capacity bin-packing: each array rounds up to whole blocks).
+func (d Device) RAMBlocks(s DesignStats) int {
+	blocks := 0
+	for _, bits := range s.RAMArrays {
+		blocks += (bits + d.BlockRAMBits - 1) / d.BlockRAMBits
+	}
+	return blocks
+}
+
+// Fit validates the design against the device's capacity.
+func (d Device) Fit(s DesignStats) error {
+	if sl := d.SlicesFor(s); sl > d.Slices {
+		return fmt.Errorf("fpga: design needs %d slices, %s has %d", sl, d.Name, d.Slices)
+	}
+	if rb := d.RAMBlocks(s); rb > d.BlockRAMs {
+		return fmt.Errorf("fpga: design needs %d block RAMs, %s has %d", rb, d.Name, d.BlockRAMs)
+	}
+	return nil
+}
+
+// Utilization returns the slice occupancy as a percentage.
+func (d Device) Utilization(s DesignStats) float64 {
+	return 100 * float64(d.SlicesFor(s)) / float64(d.Slices)
+}

@@ -1,0 +1,147 @@
+package fpga
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func sampleStats() DesignStats {
+	return DesignStats{
+		OpCounts:     map[ir.OpKind]int{ir.OpMul: 2, ir.OpAdd: 1},
+		Width:        8,
+		Registers:    64,
+		RegisterBits: 512,
+		Classes:      2,
+		Depth:        3,
+		RAMArrays:    []int{600 * 8, 1200 * 8},
+	}
+}
+
+func TestXCV1000Capacity(t *testing.T) {
+	d := XCV1000()
+	if d.Slices != 12288 || d.BlockRAMs != 32 || d.BlockRAMBits != 4096 {
+		t.Fatalf("XCV1000 spec wrong: %+v", d)
+	}
+	if !d.DualPort {
+		t.Fatal("Virtex BRAMs are dual-portable")
+	}
+}
+
+func TestSlicesComposition(t *testing.T) {
+	d := XCV1000()
+	s := sampleStats()
+	total := d.SlicesFor(s)
+	// Remove the multipliers: area must drop by exactly 2·(w²/4+2).
+	s2 := sampleStats()
+	s2.OpCounts = map[ir.OpKind]int{ir.OpAdd: 1}
+	if got, want := total-d.SlicesFor(s2), 2*(8*8/4+2); got != want {
+		t.Errorf("multiplier area delta = %d, want %d", got, want)
+	}
+	// Halve the register bits: area drops by 128 slices.
+	s3 := sampleStats()
+	s3.RegisterBits = 256
+	if got, want := total-d.SlicesFor(s3), 128; got != want {
+		t.Errorf("register area delta = %d, want %d", got, want)
+	}
+}
+
+func TestSlicesMonotoneInRegisters(t *testing.T) {
+	d := XCV1000()
+	prev := -1
+	for regs := 0; regs <= 256; regs += 16 {
+		s := sampleStats()
+		s.Registers = regs
+		s.RegisterBits = regs * 8
+		got := d.SlicesFor(s)
+		if got <= prev {
+			t.Fatalf("slices not strictly increasing at %d registers: %d then %d", regs, prev, got)
+		}
+		prev = got
+	}
+}
+
+func TestOpSlices(t *testing.T) {
+	cases := []struct {
+		op   ir.OpKind
+		w    int
+		want int
+	}{
+		{ir.OpAdd, 16, 9},
+		{ir.OpMul, 16, 66},
+		{ir.OpDiv, 8, 36},
+		{ir.OpXor, 1, 1},
+		{ir.OpShl, 32, 0},
+		{ir.OpEq, 8, 5},
+	}
+	for _, tc := range cases {
+		if got := opSlices(tc.op, tc.w); got != tc.want {
+			t.Errorf("opSlices(%v,%d) = %d, want %d", tc.op, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestClockPlausibleRange(t *testing.T) {
+	d := XCV1000()
+	s := sampleStats()
+	ns := d.ClockNs(s)
+	// Paper-era designs: tens of nanoseconds.
+	if ns < 30 || ns > 80 {
+		t.Fatalf("clock %v ns outside the plausible 30-80 ns band", ns)
+	}
+}
+
+func TestClockDegradesWithRegistersAndClasses(t *testing.T) {
+	d := XCV1000()
+	small := sampleStats()
+	small.Registers = 40
+	small.Classes = 1
+	big := sampleStats()
+	big.Registers = 64
+	big.Classes = 3
+	cs, cb := d.ClockNs(small), d.ClockNs(big)
+	if cb <= cs {
+		t.Fatalf("clock must degrade: %v → %v", cs, cb)
+	}
+	// Degradation stays single-digit-to-low-teens percent, like the paper.
+	if pct := 100 * (cb - cs) / cs; pct > 25 {
+		t.Fatalf("degradation %.1f%% implausibly large", pct)
+	}
+}
+
+func TestRAMBlocksRounding(t *testing.T) {
+	d := XCV1000()
+	s := DesignStats{RAMArrays: []int{4096, 4097, 1, 8192}}
+	// 1 + 2 + 1 + 2 blocks.
+	if got := d.RAMBlocks(s); got != 6 {
+		t.Fatalf("RAMBlocks = %d, want 6", got)
+	}
+}
+
+func TestFit(t *testing.T) {
+	d := XCV1000()
+	if err := d.Fit(sampleStats()); err != nil {
+		t.Fatalf("sample design should fit: %v", err)
+	}
+	huge := sampleStats()
+	huge.RegisterBits = 1 << 20
+	if err := d.Fit(huge); err == nil {
+		t.Fatal("oversized design should not fit")
+	}
+	manyRAM := sampleStats()
+	for i := 0; i < 40; i++ {
+		manyRAM.RAMArrays = append(manyRAM.RAMArrays, 4096)
+	}
+	if err := d.Fit(manyRAM); err == nil {
+		t.Fatal("design with 40+ BRAMs should not fit in 32")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	d := XCV1000()
+	s := sampleStats()
+	u := d.Utilization(s)
+	if u <= 0 || u >= 100 {
+		t.Fatalf("utilization %.2f%% out of range", u)
+	}
+}

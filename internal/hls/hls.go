@@ -1,0 +1,166 @@
+// Package hls is the high-level-synthesis estimator standing in for the
+// paper's Monet + Synplify + ISE tool flow: given a kernel and a register
+// allocation algorithm, it produces the hardware design metrics Table 1
+// reports — total execution cycles, achievable clock period, wall-clock
+// time, slice count/occupancy and RAM blocks.
+package hls
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/scalarrepl"
+	"repro/internal/sched"
+)
+
+// Options parameterizes an estimation run.
+type Options struct {
+	Device fpga.Device
+	Sched  sched.Config
+	// Rmax overrides the kernel's register budget when positive.
+	Rmax int
+}
+
+// DefaultOptions targets the XCV1000 with single-ported RAM blocks under
+// the default latency model.
+func DefaultOptions() Options {
+	return Options{Device: fpga.XCV1000(), Sched: sched.DefaultConfig()}
+}
+
+// Design is one synthesized design point (one kernel × one allocator).
+type Design struct {
+	Kernel     string
+	Algorithm  string
+	Allocation *core.Allocation
+	Plan       *scalarrepl.Plan
+	Sim        *sched.Result
+
+	Registers int     // Σβ
+	Cycles    int     // total execution cycles (loop + transfers)
+	MemCycles int     // Tmem share of the loop
+	ClockNs   float64 // achievable clock period
+	TimeUs    float64 // wall-clock execution time
+	Slices    int
+	SliceUtil float64 // percentage of device slices
+	RAMs      int
+
+	nest      *ir.Nest
+	seedStats fpga.DesignStats
+}
+
+// Estimate runs the full pipeline: reuse analysis → allocation → storage
+// plan → cycle simulation → area/clock models.
+func Estimate(k kernels.Kernel, alg core.Allocator, opt Options) (*Design, error) {
+	rmax := k.Rmax
+	if opt.Rmax > 0 {
+		rmax = opt.Rmax
+	}
+	prob, err := core.NewProblem(k.Nest, rmax, opt.Sched.Lat)
+	if err != nil {
+		return nil, fmt.Errorf("hls: %s: %w", k.Name, err)
+	}
+	alloc, err := alg.Allocate(prob)
+	if err != nil {
+		return nil, fmt.Errorf("hls: %s/%s: %w", k.Name, alg.Name(), err)
+	}
+	plan, err := scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+	if err != nil {
+		return nil, fmt.Errorf("hls: %s/%s: %w", k.Name, alg.Name(), err)
+	}
+	sim, err := sched.Simulate(k.Nest, plan, opt.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("hls: %s/%s: %w", k.Name, alg.Name(), err)
+	}
+	stats := designStats(k.Nest, prob, alloc, sim)
+	if err := opt.Device.Fit(stats); err != nil {
+		return nil, fmt.Errorf("hls: %s/%s: %w", k.Name, alg.Name(), err)
+	}
+	d := &Design{
+		Kernel:     k.Name,
+		Algorithm:  alg.Name(),
+		Allocation: alloc,
+		Plan:       plan,
+		Sim:        sim,
+		Registers:  alloc.Total(),
+		Cycles:     sim.TotalCycles,
+		MemCycles:  sim.MemCycles,
+		ClockNs:    opt.Device.ClockNs(stats),
+		Slices:     opt.Device.SlicesFor(stats),
+		SliceUtil:  opt.Device.Utilization(stats),
+		RAMs:       opt.Device.RAMBlocks(stats),
+		nest:       k.Nest,
+		seedStats:  stats,
+	}
+	d.TimeUs = float64(d.Cycles) * d.ClockNs / 1000.0
+	return d, nil
+}
+
+// designStats derives the area/clock model inputs from the pipeline state.
+func designStats(nest *ir.Nest, prob *core.Problem, alloc *core.Allocation, sim *sched.Result) fpga.DesignStats {
+	s := fpga.DesignStats{
+		OpCounts: map[ir.OpKind]int{},
+		Depth:    nest.Depth(),
+		Classes:  len(sim.Classes),
+	}
+	for _, st := range nest.Body {
+		ir.WalkExpr(st.RHS, func(e ir.Expr) {
+			if b, ok := e.(*ir.BinOp); ok {
+				s.OpCounts[b.Op]++
+			}
+		})
+	}
+	readArrays := map[string]bool{}
+	for _, u := range nest.RefUses() {
+		if !u.IsWrite {
+			readArrays[u.Ref.Array.Name] = true
+		}
+	}
+	for _, a := range nest.Arrays() {
+		if a.ElemBits > s.Width {
+			s.Width = a.ElemBits
+		}
+		// Arrays the kernel reads keep an on-chip RAM image, whatever the
+		// register allocation (inputs arrive through RAM). Write-only
+		// outputs stream off-chip at the same access latency and occupy no
+		// block RAM.
+		if readArrays[a.Name] {
+			s.RAMArrays = append(s.RAMArrays, a.Bits())
+		}
+	}
+	for _, inf := range prob.Infos {
+		b := alloc.Of(inf.Key())
+		s.Registers += b
+		s.RegisterBits += b * inf.Group.Ref.Array.ElemBits
+	}
+	return s
+}
+
+// Verify machine-checks the design's storage plan against the reference
+// interpreter on deterministic random inputs.
+func (d *Design) Verify(seed int64) error {
+	_, err := sched.VerifyPlan(d.nest, d.Plan, seed)
+	return err
+}
+
+// Stats exposes the model inputs (for ablation harnesses).
+func (d *Design) Stats() fpga.DesignStats { return d.seedStats }
+
+// Speedup returns the wall-clock speedup of this design over a baseline.
+func (d *Design) Speedup(base *Design) float64 {
+	if d.TimeUs == 0 {
+		return 0
+	}
+	return base.TimeUs / d.TimeUs
+}
+
+// CycleReductionPct returns the percent reduction in total cycles relative
+// to a baseline design (positive = fewer cycles).
+func (d *Design) CycleReductionPct(base *Design) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return 100 * float64(base.Cycles-d.Cycles) / float64(base.Cycles)
+}

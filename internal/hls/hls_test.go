@@ -1,0 +1,144 @@
+package hls
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+func estimate(t *testing.T, kernel string, alg core.Allocator) *Design {
+	t.Helper()
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Estimate(k, alg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEstimateFigure1AllAlgorithms(t *testing.T) {
+	for _, alg := range core.All() {
+		d := estimate(t, "figure1", alg)
+		if d.Registers < 5 || d.Registers > 64 {
+			t.Errorf("%s: registers = %d out of range", alg.Name(), d.Registers)
+		}
+		if d.Cycles <= 0 || d.ClockNs <= 0 || d.TimeUs <= 0 {
+			t.Errorf("%s: non-positive metrics: %+v", alg.Name(), d)
+		}
+		if d.Slices <= 0 || d.SliceUtil <= 0 || d.SliceUtil >= 100 {
+			t.Errorf("%s: implausible area: slices=%d util=%.2f", alg.Name(), d.Slices, d.SliceUtil)
+		}
+		if d.RAMs <= 0 {
+			t.Errorf("%s: no RAM blocks", alg.Name())
+		}
+		if err := d.Verify(5); err != nil {
+			t.Errorf("%s: semantics check failed: %v", alg.Name(), err)
+		}
+	}
+}
+
+// TestCPAMemWinsOnFigure1: the contribution's Tmem advantage survives the
+// full pipeline.
+func TestCPAMemWinsOnFigure1(t *testing.T) {
+	fr := estimate(t, "figure1", core.FRRA{})
+	pr := estimate(t, "figure1", core.PRRA{})
+	cpa := estimate(t, "figure1", core.CPARA{})
+	if !(cpa.MemCycles < pr.MemCycles && pr.MemCycles < fr.MemCycles) {
+		t.Fatalf("Tmem ordering violated: CPA=%d PR=%d FR=%d", cpa.MemCycles, pr.MemCycles, fr.MemCycles)
+	}
+}
+
+// TestAllKernelsAllAlgorithms is the full 6×3 Table-1 sweep: every design
+// must synthesize, fit the device and verify semantically.
+func TestAllKernelsAllAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep skipped in -short mode")
+	}
+	algs := []core.Allocator{core.FRRA{}, core.PRRA{}, core.CPARA{}}
+	for _, k := range kernels.All() {
+		var designs []*Design
+		for _, alg := range algs {
+			d, err := Estimate(k, alg, DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k.Name, alg.Name(), err)
+			}
+			designs = append(designs, d)
+		}
+		fr, cpa := designs[0], designs[2]
+		if cpa.Cycles > fr.Cycles {
+			t.Errorf("%s: CPA-RA cycles %d exceed FR-RA %d", k.Name, cpa.Cycles, fr.Cycles)
+		}
+		if cpa.MemCycles > fr.MemCycles {
+			t.Errorf("%s: CPA-RA Tmem %d exceeds FR-RA %d", k.Name, cpa.MemCycles, fr.MemCycles)
+		}
+	}
+}
+
+// TestVerifySweepSmallKernels: semantic verification across all algorithms
+// for the kernels with affordable iteration spaces.
+func TestVerifySweepSmallKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification sweep skipped in -short mode")
+	}
+	for _, name := range []string{"fir", "mat", "pat"} {
+		for _, alg := range []core.Allocator{core.FRRA{}, core.PRRA{}, core.CPARA{}} {
+			d := estimate(t, name, alg)
+			if err := d.Verify(11); err != nil {
+				t.Errorf("%s/%s: %v", name, alg.Name(), err)
+			}
+		}
+	}
+}
+
+func TestRmaxOverride(t *testing.T) {
+	k, _ := kernels.ByName("figure1")
+	opt := DefaultOptions()
+	opt.Rmax = 128
+	d, err := Estimate(k, core.PRRA{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Registers <= 64 {
+		t.Errorf("with Rmax=128 PR-RA should exceed 64 registers, got %d", d.Registers)
+	}
+}
+
+func TestSpeedupAndReductionHelpers(t *testing.T) {
+	fr := estimate(t, "figure1", core.FRRA{})
+	cpa := estimate(t, "figure1", core.CPARA{})
+	if s := cpa.Speedup(fr); s <= 0 {
+		t.Errorf("speedup = %v", s)
+	}
+	if r := cpa.CycleReductionPct(fr); r < 0 || r > 100 {
+		t.Errorf("cycle reduction = %v%%", r)
+	}
+	if fr.CycleReductionPct(fr) != 0 {
+		t.Error("self reduction must be 0")
+	}
+}
+
+// TestClockDegradationBounded: across the suite, CPA-RA's clock penalty vs
+// FR-RA stays within the paper's ballpark (single digits to low teens %).
+func TestClockDegradationBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	for _, k := range kernels.All() {
+		fr, err := Estimate(k, core.FRRA{}, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpa, err := Estimate(k, core.CPARA{}, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pct := 100 * (cpa.ClockNs - fr.ClockNs) / fr.ClockNs
+		if pct < -1 || pct > 20 {
+			t.Errorf("%s: clock degradation %.1f%% outside [-1,20]", k.Name, pct)
+		}
+	}
+}

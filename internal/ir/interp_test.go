@@ -1,0 +1,215 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInterpFigure1Semantics(t *testing.T) {
+	n := figure1Nest()
+	s := NewStore()
+	s.RandomizeInputs(n, 42)
+	// Keep copies of the inputs so we can cross-check the arithmetic.
+	av := append([]int64(nil), s.Raw("a")...)
+	bv := append([]int64(nil), s.Raw("b")...)
+	cv := append([]int64(nil), s.Raw("c")...)
+	accesses, err := Interp(n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 accesses per iteration point (3 reads + write, then 2 reads + write).
+	if want := n.IterationCount() * 6; accesses != want {
+		t.Errorf("accesses = %d, want %d", accesses, want)
+	}
+	nj, nk := 20, 30
+	mask := int64(0xFF)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < nj; j++ {
+			for k := 0; k < nk; k++ {
+				d := (av[k] * bv[k*nj+j]) & mask
+				e := (cv[j] * d) & mask
+				if got := s.Raw("e")[(i*nj+j)*nk+k]; got != e {
+					t.Fatalf("e[%d][%d][%d] = %d, want %d", i, j, k, got, e)
+				}
+			}
+		}
+	}
+	// d holds the last j iteration's values.
+	for i := 0; i < 2; i++ {
+		for k := 0; k < nk; k++ {
+			want := (av[k] * bv[k*nj+(nj-1)]) & mask
+			if got := s.Raw("d")[i*nk+k]; got != want {
+				t.Fatalf("d[%d][%d] = %d, want %d", i, k, got, want)
+			}
+		}
+	}
+}
+
+func TestInterpDeterministic(t *testing.T) {
+	n := figure1Nest()
+	s1, s2 := NewStore(), NewStore()
+	s1.RandomizeInputs(n, 7)
+	s2.RandomizeInputs(n, 7)
+	if _, err := Interp(n, s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Interp(n, s2); err != nil {
+		t.Fatal(err)
+	}
+	if eq, diff := s1.Equal(s2); !eq {
+		t.Fatalf("same seed diverged: %s", diff)
+	}
+	s3 := NewStore()
+	s3.RandomizeInputs(n, 8)
+	if _, err := Interp(n, s3); err != nil {
+		t.Fatal(err)
+	}
+	if eq, _ := s1.Equal(s3); eq {
+		t.Fatal("different seeds produced identical stores (suspicious)")
+	}
+}
+
+func TestStoreCloneIsDeep(t *testing.T) {
+	a := NewArray("a", 8, 4)
+	s := NewStore()
+	s.Bind(a)
+	if err := s.StoreElem(a, []int{2}, 9); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if err := c.StoreElem(a, []int{2}, 5); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Load(a, []int{2})
+	if v != 9 {
+		t.Fatalf("clone aliased original: got %d", v)
+	}
+}
+
+func TestStoreWidthMasking(t *testing.T) {
+	a := NewArray("a", 4, 1) // 4-bit elements
+	s := NewStore()
+	s.Bind(a)
+	if err := s.StoreElem(a, []int{0}, 0x1F); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Load(a, []int{0})
+	if v != 0x0F {
+		t.Fatalf("4-bit store of 0x1F read back %#x, want 0x0F", v)
+	}
+	w := NewArray("w", 64, 1)
+	s.Bind(w)
+	if err := s.StoreElem(w, []int{0}, -1); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Load(w, []int{0})
+	if v != -1 {
+		t.Fatalf("64-bit store of -1 read back %d", v)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	a := NewArray("a", 8, 4)
+	s := NewStore()
+	if _, err := s.Load(a, []int{0}); err == nil || !strings.Contains(err.Error(), "not bound") {
+		t.Errorf("load of unbound array: err = %v", err)
+	}
+	if err := s.StoreElem(a, []int{0}, 1); err == nil {
+		t.Error("store to unbound array should fail")
+	}
+	s.Bind(a)
+	if _, err := s.Load(a, []int{7}); err == nil {
+		t.Error("out-of-bounds load should fail")
+	}
+}
+
+func TestEvalOpTable(t *testing.T) {
+	cases := []struct {
+		op   OpKind
+		l, r int64
+		want int64
+	}{
+		{OpAdd, 3, 4, 7},
+		{OpSub, 3, 4, -1},
+		{OpMul, 3, 4, 12},
+		{OpDiv, 9, 2, 4},
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpShl, 1, 4, 16},
+		{OpShr, 16, 3, 2},
+		{OpEq, 5, 5, 1},
+		{OpEq, 5, 6, 0},
+		{OpNe, 5, 6, 1},
+		{OpLt, 5, 6, 1},
+		{OpLt, 6, 5, 0},
+		{OpLe, 5, 5, 1},
+		{OpMin, 5, 6, 5},
+		{OpMax, 5, 6, 6},
+	}
+	for _, tc := range cases {
+		got, err := EvalOp(tc.op, tc.l, tc.r)
+		if err != nil || got != tc.want {
+			t.Errorf("EvalOp(%v, %d, %d) = %d,%v want %d", tc.op, tc.l, tc.r, got, err, tc.want)
+		}
+	}
+	if _, err := EvalOp(OpDiv, 1, 0); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := EvalOp(OpKind(99), 1, 2); err == nil {
+		t.Error("invalid op should error")
+	}
+}
+
+func TestInterpAccumulation(t *testing.T) {
+	// y[i] = y[i] + x[i+k] accumulates over k: y[i] = sum of a 4-wide window.
+	x := NewArray("x", 16, 13)
+	y := NewArray("y", 16, 10)
+	n := &Nest{
+		Name:  "acc",
+		Loops: []Loop{{Var: "i", Lo: 0, Hi: 10, Step: 1}, {Var: "k", Lo: 0, Hi: 4, Step: 1}},
+		Body: []*Assign{
+			{LHS: Ref(y, AffVar("i")), RHS: Bin(OpAdd, Ref(y, AffVar("i")), Ref(x, AffVar("i").Add(AffVar("k"))))},
+		},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore()
+	s.Bind(x)
+	s.Bind(y)
+	for i := 0; i < 13; i++ {
+		if err := s.StoreElem(x, []int{i}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Interp(n, s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		want := int64(i + i + 1 + i + 2 + i + 3)
+		if got := s.Raw("y")[i]; got != want {
+			t.Errorf("y[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRandomizeInputsZeroesOutputs(t *testing.T) {
+	n := figure1Nest()
+	s := NewStore()
+	s.RandomizeInputs(n, 3)
+	for _, v := range s.Raw("d") {
+		if v != 0 {
+			t.Fatal("output array d should start zeroed")
+		}
+	}
+	nonZero := false
+	for _, v := range s.Raw("a") {
+		if v != 0 {
+			nonZero = true
+		}
+	}
+	if !nonZero {
+		t.Fatal("input array a should be randomized")
+	}
+}

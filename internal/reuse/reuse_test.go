@@ -1,0 +1,346 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+)
+
+const figure1Src = `
+kernel figure1;
+array a[30]:8;
+array b[30][20]:8;
+array c[20]:8;
+array d[2][30]:8;
+array e[2][20][30]:8;
+for i = 0..2 {
+  for j = 0..20 {
+    for k = 0..30 {
+      d[i][k] = a[k] * b[k][j];
+      e[i][j][k] = c[j] * d[i][k];
+    }
+  }
+}
+`
+
+func analyzeFigure1(t *testing.T) map[string]*Info {
+	t.Helper()
+	n := dsl.MustParse(figure1Src)
+	infos, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ByKey(infos)
+}
+
+// TestFigure1RegisterRequirements pins the paper's ν values for the running
+// example: ν(a)=30, ν(b)=600, ν(c)=20, ν(d)=30, ν(e)=1.
+func TestFigure1RegisterRequirements(t *testing.T) {
+	by := analyzeFigure1(t)
+	want := map[string]int{
+		"a[k]":       30,
+		"b[k][j]":    600,
+		"c[j]":       20,
+		"d[i][k]":    30,
+		"e[i][j][k]": 1,
+	}
+	for key, nu := range want {
+		inf := by[key]
+		if inf == nil {
+			t.Fatalf("missing info for %s", key)
+		}
+		if inf.Nu != nu {
+			t.Errorf("nu(%s) = %d, want %d", key, inf.Nu, nu)
+		}
+	}
+}
+
+func TestFigure1ReuseLevels(t *testing.T) {
+	by := analyzeFigure1(t)
+	want := map[string]int{
+		"a[k]":       0,  // invariant in i
+		"b[k][j]":    0,  // invariant in i
+		"c[j]":       0,  // invariant in i (and k)
+		"d[i][k]":    1,  // invariant in j
+		"e[i][j][k]": -1, // no reuse
+	}
+	for key, lvl := range want {
+		if got := by[key].ReuseLevel; got != lvl {
+			t.Errorf("reuseLevel(%s) = %d, want %d", key, got, lvl)
+		}
+	}
+}
+
+// TestFigure1BenefitOrdering pins the paper's greedy order c > a > d > b > e.
+func TestFigure1BenefitOrdering(t *testing.T) {
+	n := dsl.MustParse(figure1Src)
+	infos, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := SortByBenefitCost(infos)
+	var got []string
+	for _, inf := range sorted {
+		got = append(got, inf.Group.Ref.Array.Name)
+	}
+	want := []string{"c", "a", "d", "b", "e"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("B/C order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFigure1BenefitValues(t *testing.T) {
+	by := analyzeFigure1(t)
+	// 1200 iterations; reads: a,b,c,d once each per iteration; e never read.
+	cases := []struct {
+		key                  string
+		reads, writes, saved int
+	}{
+		{"a[k]", 1200, 0, 1170},       // footprint 30
+		{"b[k][j]", 1200, 0, 600},     // footprint 600
+		{"c[j]", 1200, 0, 1180},       // footprint 20
+		{"d[i][k]", 1200, 1200, 1140}, // footprint 60, reads only
+		{"e[i][j][k]", 0, 1200, 0},    // write-only, no read benefit
+	}
+	for _, tc := range cases {
+		inf := by[tc.key]
+		if inf.TotalReads != tc.reads || inf.TotalWrites != tc.writes || inf.SavedReads != tc.saved {
+			t.Errorf("%s: reads/writes/saved = %d/%d/%d, want %d/%d/%d",
+				tc.key, inf.TotalReads, inf.TotalWrites, inf.SavedReads, tc.reads, tc.writes, tc.saved)
+		}
+	}
+}
+
+// TestSlidingWindowReuse checks group (window) reuse for FIR-style x[i+k]:
+// full replacement needs a window of trip(k) registers even though the
+// reference is invariant in no loop.
+func TestSlidingWindowReuse(t *testing.T) {
+	n := dsl.MustParse(`
+array x[40]:8;
+array c[8]:8;
+array y[32]:16;
+for i = 0..32 {
+  for k = 0..8 {
+    y[i] = y[i] + c[k] * x[i + k];
+  }
+}
+`)
+	infos, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := ByKey(infos)
+	x := by["x[i + k]"]
+	if x == nil {
+		t.Fatalf("missing x window info; have %v", keys(infos))
+	}
+	if x.ReuseLevel != 0 {
+		t.Errorf("x reuse level = %d, want 0 (window reuse across i)", x.ReuseLevel)
+	}
+	if x.Nu != 8 {
+		t.Errorf("nu(x) = %d, want 8 (window size)", x.Nu)
+	}
+	// Footprint 39 distinct elements out of 256 accesses.
+	if x.Distinct[0] != 39 {
+		t.Errorf("x footprint = %d, want 39", x.Distinct[0])
+	}
+	if x.SavedReads != 256-39 {
+		t.Errorf("x saved = %d, want %d", x.SavedReads, 256-39)
+	}
+	cRef := by["c[k]"]
+	if cRef.Nu != 8 || cRef.ReuseLevel != 0 {
+		t.Errorf("c: nu=%d level=%d, want 8/0", cRef.Nu, cRef.ReuseLevel)
+	}
+	// y[i] is read and written; reuse carried by k (accumulator).
+	y := by["y[i]"]
+	if y.Nu != 1 || y.ReuseLevel != 1 {
+		t.Errorf("y: nu=%d level=%d, want 1/1 (accumulator register)", y.Nu, y.ReuseLevel)
+	}
+}
+
+func keys(infos []*Info) []string {
+	var ks []string
+	for _, inf := range infos {
+		ks = append(ks, inf.Key())
+	}
+	return ks
+}
+
+// TestDecimationReuse: x[2i+k] with decimation 2 overlaps half the window.
+func TestDecimationReuse(t *testing.T) {
+	n := dsl.MustParse(`
+array x[70]:8;
+array y[32]:16;
+for i = 0..32 {
+  for k = 0..8 {
+    y[i] = y[i] + x[2*i + k];
+  }
+}
+`)
+	by := ByKey(mustAnalyze(t, n))
+	x := by["x[2*i + k]"]
+	if x.ReuseLevel != 0 || x.Nu != 8 {
+		t.Errorf("decimated window: level=%d nu=%d, want 0/8", x.ReuseLevel, x.Nu)
+	}
+	// 2*31+7 = 69 max index; footprint = 70 distinct elements.
+	if x.Distinct[0] != 70 {
+		t.Errorf("footprint = %d, want 70", x.Distinct[0])
+	}
+}
+
+func mustAnalyze(t *testing.T, n *ir.Nest) []*Info {
+	t.Helper()
+	infos, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return infos
+}
+
+// TestNoReuse: a streaming reference touched once gets ν=1 and B=0.
+func TestNoReuse(t *testing.T) {
+	n := dsl.MustParse(`
+array x[64]:8;
+array y[64]:8;
+for i = 0..64 {
+  y[i] = x[i] + 1;
+}
+`)
+	by := ByKey(mustAnalyze(t, n))
+	for _, key := range []string{"x[i]", "y[i]"} {
+		inf := by[key]
+		if inf.Nu != 1 || inf.ReuseLevel != -1 || inf.SavedReads != 0 {
+			t.Errorf("%s: nu=%d level=%d saved=%d, want 1/-1/0", key, inf.Nu, inf.ReuseLevel, inf.SavedReads)
+		}
+	}
+}
+
+// TestInvariantAnalyticCrossCheck: for purely invariant references, ν must
+// equal the product of the trips of the inner loops whose variables appear
+// in the index — the analytic So & Hall formula.
+func TestInvariantAnalyticCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vars := []string{"i", "j", "k"}
+	trips := []int{4, 5, 6}
+	for trial := 0; trial < 64; trial++ {
+		// Choose a random non-empty subset of loops to appear in the index.
+		using := rng.Intn(7) + 1 // bits over 3 loops, at least one unset? ensure not all
+		if using == 7 {
+			using = rng.Intn(6) + 1
+		}
+		var dims []int
+		var idx []ir.Affine
+		prod := 1
+		outermostUsed := 3
+		for v := 0; v < 3; v++ {
+			if using&(1<<v) != 0 {
+				dims = append(dims, trips[v])
+				idx = append(idx, ir.AffVar(vars[v]))
+				if v < outermostUsed {
+					outermostUsed = v
+				}
+			}
+		}
+		arr := ir.NewArray("m", 8, dims...)
+		out := ir.NewArray("o", 8, trips[0], trips[1], trips[2])
+		n := &ir.Nest{
+			Name: "inv",
+			Loops: []ir.Loop{
+				{Var: "i", Lo: 0, Hi: trips[0], Step: 1},
+				{Var: "j", Lo: 0, Hi: trips[1], Step: 1},
+				{Var: "k", Lo: 0, Hi: trips[2], Step: 1},
+			},
+			Body: []*ir.Assign{{
+				LHS: ir.Ref(out, ir.AffVar("i"), ir.AffVar("j"), ir.AffVar("k")),
+				RHS: ir.Ref(arr, idx...),
+			}},
+		}
+		by := ByKey(mustAnalyze(t, n))
+		var inf *Info
+		for k, v := range by {
+			if k != "o[i][j][k]" {
+				inf = v
+			}
+		}
+		// Analytic: reuse level = outermost loop NOT in the index set (if any
+		// loop is missing); nu = product of trips of index loops inside it.
+		missing := -1
+		for v := 0; v < 3; v++ {
+			if using&(1<<v) == 0 {
+				missing = v
+				break
+			}
+		}
+		if missing < 0 {
+			t.Fatal("test bug: all loops used")
+		}
+		wantNu := 1
+		for v := missing + 1; v < 3; v++ {
+			if using&(1<<v) != 0 {
+				wantNu *= trips[v]
+			}
+		}
+		_ = prod
+		if inf.ReuseLevel != missing {
+			t.Fatalf("subset %03b: reuse level = %d, want %d", using, inf.ReuseLevel, missing)
+		}
+		if inf.Nu != wantNu {
+			t.Fatalf("subset %03b: nu = %d, want %d", using, inf.Nu, wantNu)
+		}
+	}
+}
+
+// TestAccessCountOracle: TotalReads+TotalWrites must match the interpreter's
+// dynamic access count.
+func TestAccessCountOracle(t *testing.T) {
+	n := dsl.MustParse(figure1Src)
+	infos := mustAnalyze(t, n)
+	sum := 0
+	for _, inf := range infos {
+		sum += inf.TotalReads + inf.TotalWrites
+	}
+	s := ir.NewStore()
+	s.RandomizeInputs(n, 1)
+	dynamic, err := ir.Interp(n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != dynamic {
+		t.Fatalf("static access count %d != dynamic %d", sum, dynamic)
+	}
+}
+
+func TestTotalFullReplacementRegisters(t *testing.T) {
+	infos := mustAnalyze(t, dsl.MustParse(figure1Src))
+	// 30 + 600 + 20 + 30 + 1 = 681: far beyond any realistic register file,
+	// which is exactly the paper's motivation.
+	if got := TotalFullReplacementRegisters(infos); got != 681 {
+		t.Fatalf("total nu = %d, want 681", got)
+	}
+}
+
+func TestAnalyzeRejectsInvalidNest(t *testing.T) {
+	n := &ir.Nest{Name: "bad"}
+	if _, err := Analyze(n); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestSortStableDeterministic(t *testing.T) {
+	infos := mustAnalyze(t, dsl.MustParse(figure1Src))
+	a := SortByBenefitCost(infos)
+	b := SortByBenefitCost(infos)
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatal("sort not deterministic")
+		}
+	}
+	// Original slice order must be untouched.
+	if infos[0].Key() != "a[k]" {
+		t.Fatalf("input slice mutated: first = %s", infos[0].Key())
+	}
+}

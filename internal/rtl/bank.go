@@ -1,0 +1,114 @@
+package rtl
+
+import (
+	"repro/internal/ir"
+	"repro/internal/scalarrepl"
+)
+
+// bank is one reference's register bank, direct-mapped by the entry's slot
+// function — rotating (flat index modulo bank size) when the covered window
+// is collision-free under that addressing, so sliding windows reuse like an
+// associative file, and window-ordinal addressed otherwise. The generated
+// code and the VHDL emitter use the same organization.
+type bank struct {
+	entry   *scalarrepl.Entry
+	vals    []int64
+	present []bool
+	dirty   []bool
+	elem    []int // absolute flat element cached in each slot
+	mask    int64
+}
+
+func newBanks(plan *scalarrepl.Plan) map[string]*bank {
+	banks := map[string]*bank{}
+	for _, e := range plan.Order() {
+		if e.Coverage == 0 {
+			continue
+		}
+		bits := e.Info.Group.Ref.Array.ElemBits
+		var mask int64 = -1
+		if bits < 64 {
+			mask = (int64(1) << uint(bits)) - 1
+		}
+		banks[e.Info.Key()] = &bank{
+			entry:   e,
+			vals:    make([]int64, e.Coverage),
+			present: make([]bool, e.Coverage),
+			dirty:   make([]bool, e.Coverage),
+			elem:    make([]int, e.Coverage),
+			mask:    mask,
+		}
+	}
+	return banks
+}
+
+// read serves a covered access; if the slot caches a different element
+// (the window slid), it spills a dirty occupant and refills from RAM.
+func (bk *bank) read(store *ir.Store, env map[string]int) (v int64, ramReads int, err error) {
+	o := bk.entry.SlotOf(env)
+	flat := bk.entry.FlatAffine().Eval(env)
+	arr := bk.entry.Info.Group.Ref.Array
+	if bk.present[o] && bk.elem[o] == flat {
+		return bk.vals[o], 0, nil
+	}
+	if bk.present[o] && bk.dirty[o] {
+		if err := storeFlat(store, arr, bk.elem[o], bk.vals[o]); err != nil {
+			return 0, 0, err
+		}
+	}
+	v, err = loadFlat(store, arr, flat)
+	if err != nil {
+		return 0, 0, err
+	}
+	bk.vals[o], bk.present[o], bk.dirty[o], bk.elem[o] = v, true, false, flat
+	return v, 1, nil
+}
+
+// write stores into the covered slot, spilling a dirty different occupant.
+func (bk *bank) write(store *ir.Store, env map[string]int, v int64) (ramWrites int, err error) {
+	o := bk.entry.SlotOf(env)
+	flat := bk.entry.FlatAffine().Eval(env)
+	arr := bk.entry.Info.Group.Ref.Array
+	spills := 0
+	if bk.present[o] && bk.elem[o] != flat && bk.dirty[o] {
+		if err := storeFlat(store, arr, bk.elem[o], bk.vals[o]); err != nil {
+			return 0, err
+		}
+		spills++
+	}
+	bk.vals[o], bk.present[o], bk.dirty[o], bk.elem[o] = v&bk.mask, true, true, flat
+	return spills, nil
+}
+
+// flush drains every dirty slot back to RAM.
+func (bk *bank) flush(store *ir.Store) (ramWrites int, err error) {
+	arr := bk.entry.Info.Group.Ref.Array
+	for o := range bk.vals {
+		if bk.present[o] && bk.dirty[o] {
+			if err := storeFlat(store, arr, bk.elem[o], bk.vals[o]); err != nil {
+				return ramWrites, err
+			}
+			ramWrites++
+		}
+		bk.present[o], bk.dirty[o] = false, false
+	}
+	return ramWrites, nil
+}
+
+func storeFlat(s *ir.Store, arr *ir.Array, flat int, v int64) error {
+	idx := make([]int, len(arr.Dims))
+	for d := len(arr.Dims) - 1; d >= 0; d-- {
+		idx[d] = flat % arr.Dims[d]
+		flat /= arr.Dims[d]
+	}
+	return s.StoreElem(arr, idx, v)
+}
+
+func loadFlat(s *ir.Store, arr *ir.Array, flat int) (int64, error) {
+	idx := make([]int, len(arr.Dims))
+	for d := len(arr.Dims) - 1; d >= 0; d-- {
+		idx[d] = flat % arr.Dims[d]
+		flat /= arr.Dims[d]
+	}
+	return s.Load(arr, idx)
+}

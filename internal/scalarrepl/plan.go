@@ -1,0 +1,275 @@
+// Package scalarrepl turns a register allocation (β registers per array
+// reference) into an executable storage plan: for every dynamic access it
+// decides whether the access is served by the register file or by a RAM
+// block, and how data moves between the two at reuse-region boundaries.
+//
+// The residency rule mirrors the paper's counting model. A reference with
+// coverage c keeps register-resident the first c elements of its footprint
+// within one innermost-loop sweep (its "window"); accesses whose window
+// ordinal falls below c are steady-state register hits — e.g. with
+// β(d)=12 of ν(d)=30, the k<12 iterations hit registers, exactly the
+// paper's PR-RA narrative. Window refills across outer iterations are
+// prefetchable and accounted as transfer traffic, not as stalls on the
+// loop's critical path; the pre-peeled first-touch loads and the epilogue
+// write-backs are likewise transfer traffic.
+//
+// Coverage is derived from β as:
+//
+//	0           when the reference has no temporal reuse (a streaming
+//	            access must touch RAM every iteration regardless of β),
+//	            or β == 1 with ν > 1 (the lone staging register exploits
+//	            no reuse), or the array is aliased by another written
+//	            reference (consistency cannot be guaranteed);
+//	min(β, ν)   otherwise.
+package scalarrepl
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/reuse"
+)
+
+// Plan is the storage plan for one nest under one allocation.
+type Plan struct {
+	Nest    *ir.Nest
+	Entries map[string]*Entry
+	// order lists entries in first-use order for deterministic iteration.
+	order []*Entry
+}
+
+// Entry is the storage decision for one static reference.
+type Entry struct {
+	Info     *reuse.Info
+	Beta     int // registers granted by the allocator
+	Coverage int // elements of the innermost window held in registers
+	// WriteFirst reports that the reference's first occurrence in body
+	// order is a write (so covered elements need no initial load).
+	WriteFirst bool
+	// Aliased reports that another static reference writes the same array,
+	// so register residency is disabled to preserve consistency.
+	Aliased bool
+
+	innermost string // innermost loop variable
+	baseEnv   map[string]int
+	ordinal   map[int]int // window-relative flat index → first-touch ordinal
+
+	// The flat element index of an affine reference is itself an affine
+	// function of the loop variables; these precomputed pieces make the
+	// per-access residency test O(1) without map rebuilding.
+	flatAff   ir.Affine // flat index as affine function of all loop vars
+	relConst  int       // flatAff with every non-innermost var at its Lo
+	innerCoef int       // flatAff coefficient of the innermost variable
+	rotating  bool      // covered window is collision-free mod Coverage
+}
+
+// FlatAffine returns the reference's flat element index as an affine
+// function of the loop variables.
+func (e *Entry) FlatAffine() ir.Affine { return e.flatAff }
+
+// NewPlan builds the storage plan for the nest, reuse summary and register
+// assignment. Every reference in infos must have an entry in beta.
+func NewPlan(nest *ir.Nest, infos []*reuse.Info, beta map[string]int) (*Plan, error) {
+	if nest.Depth() == 0 {
+		return nil, fmt.Errorf("scalarrepl: empty nest")
+	}
+	p := &Plan{Nest: nest, Entries: map[string]*Entry{}}
+	refsPerArray := map[string]int{}
+	arrayWritten := map[string]bool{}
+	for _, inf := range infos {
+		arr := inf.Group.Ref.Array.Name
+		refsPerArray[arr]++
+		if inf.Group.Writes > 0 {
+			arrayWritten[arr] = true
+		}
+	}
+	writeFirst := map[string]bool{}
+	seen := map[string]bool{}
+	for _, u := range nest.RefUses() {
+		key := u.Ref.Key()
+		if !seen[key] {
+			seen[key] = true
+			writeFirst[key] = u.IsWrite
+		}
+	}
+	inner := nest.Loops[nest.Depth()-1]
+	for _, inf := range infos {
+		b, ok := beta[inf.Key()]
+		if !ok {
+			return nil, fmt.Errorf("scalarrepl: no register assignment for %s", inf.Key())
+		}
+		if b < 1 {
+			return nil, fmt.Errorf("scalarrepl: %s has β=%d, want ≥1", inf.Key(), b)
+		}
+		e := &Entry{
+			Info:       inf,
+			Beta:       b,
+			WriteFirst: writeFirst[inf.Key()],
+			innermost:  inner.Var,
+		}
+		arr := inf.Group.Ref.Array.Name
+		// Aliased: the array is written and more than one static reference
+		// touches it — register residency could let a RAM access observe a
+		// stale value (or vice versa), so it is disabled for all of them.
+		e.Aliased = arrayWritten[arr] && refsPerArray[arr] > 1
+		switch {
+		case e.Aliased:
+			e.Coverage = 0
+		case inf.ReuseLevel < 0:
+			e.Coverage = 0
+		case b >= inf.Nu:
+			e.Coverage = inf.Nu
+		case b >= 2:
+			e.Coverage = b
+		default:
+			e.Coverage = 0
+		}
+		e.buildWindow(nest)
+		p.Entries[inf.Key()] = e
+		p.order = append(p.order, e)
+	}
+	return p, nil
+}
+
+// buildWindow derives the flat-index affine form and enumerates one
+// innermost-loop sweep with every outer loop at its lower bound, recording
+// the first-touch ordinal of each element.
+func (e *Entry) buildWindow(nest *ir.Nest) {
+	e.baseEnv = map[string]int{}
+	for _, l := range nest.Loops {
+		e.baseEnv[l.Var] = l.Lo
+	}
+	r := e.Info.Group.Ref
+	e.flatAff = ir.AffConst(0)
+	for dim, ix := range r.Index {
+		e.flatAff = e.flatAff.Scale(r.Array.Dims[dim]).Add(ix)
+	}
+	e.innerCoef = e.flatAff.Coeff(e.innermost)
+	base := e.flatAff.Eval(e.baseEnv)
+	innerLo := e.baseEnv[e.innermost]
+	e.relConst = base - e.innerCoef*innerLo
+	e.ordinal = map[int]int{}
+	inner := nest.Loops[nest.Depth()-1]
+	for v := inner.Lo; v < inner.Hi; v += inner.Step {
+		flat := e.relConst + e.innerCoef*v
+		if _, ok := e.ordinal[flat]; !ok {
+			e.ordinal[flat] = len(e.ordinal)
+		}
+	}
+	if e.Coverage > 0 {
+		seen := make(map[int]bool, e.Coverage)
+		e.rotating = true
+		for flat, o := range e.ordinal {
+			if o >= e.Coverage {
+				continue
+			}
+			r := ((flat % e.Coverage) + e.Coverage) % e.Coverage
+			if seen[r] {
+				e.rotating = false
+				break
+			}
+			seen[r] = true
+		}
+	}
+}
+
+// relFlat evaluates the reference's flat element index with all loops
+// except the innermost forced to their lower bounds, producing the
+// window-relative element identity.
+func (e *Entry) relFlat(env map[string]int) int {
+	return e.relConst + e.innerCoef*env[e.innermost]
+}
+
+// WindowOrdinal returns the access's position within the innermost window
+// at the given iteration.
+func (e *Entry) WindowOrdinal(env map[string]int) int {
+	o, ok := e.ordinal[e.relFlat(env)]
+	if !ok {
+		// Cannot happen for affine references (the window is a translate),
+		// but fail loudly rather than silently misclassify.
+		panic(fmt.Sprintf("scalarrepl: %s: iteration outside precomputed window", e.Info.Key()))
+	}
+	return o
+}
+
+// Hit reports whether the access at the given iteration is a steady-state
+// register hit.
+func (e *Entry) Hit(env map[string]int) bool {
+	return e.Coverage > 0 && e.WindowOrdinal(env) < e.Coverage
+}
+
+// FullyReplaced reports whether every access of the reference hits.
+func (e *Entry) FullyReplaced() bool {
+	return e.Coverage > 0 && e.Coverage >= len(e.ordinal)
+}
+
+// WindowSize returns the number of distinct elements in one innermost-loop
+// sweep of the reference.
+func (e *Entry) WindowSize() int { return len(e.ordinal) }
+
+// RotatingSlots reports whether a direct-mapped register bank of size
+// Coverage can address the covered window by element-index modulo
+// Coverage without collisions. When true, a sliding window rotates through
+// the bank — the new element landing exactly in the slot the departing
+// element frees — so hardware register banks capture the same reuse as a
+// fully-associative file. Residue distinctness is translation-invariant,
+// so checking one window position suffices.
+func (e *Entry) RotatingSlots() bool { return e.rotating }
+
+// SlotOf returns the register-bank slot for an element's absolute flat
+// index under the bank's addressing scheme (rotating modulo when
+// collision-free, window ordinal otherwise).
+func (e *Entry) SlotOf(env map[string]int) int {
+	if e.RotatingSlots() {
+		flat := e.flatAff.Eval(env)
+		return ((flat % e.Coverage) + e.Coverage) % e.Coverage
+	}
+	return e.WindowOrdinal(env)
+}
+
+// RegionOf returns an identifier of the reuse region the iteration belongs
+// to: the combination of the loop indices outside the reuse level. Register
+// contents persist within a region and are flushed/refilled across region
+// boundaries. References with global reuse (level 0) live in a single
+// region (-1 sentinel aside, the id is 0).
+func (e *Entry) RegionOf(nest *ir.Nest, env map[string]int) int {
+	l := e.Info.ReuseLevel
+	if l <= 0 {
+		return 0
+	}
+	id := 0
+	for d := 0; d < l; d++ {
+		loop := nest.Loops[d]
+		id = id*loop.Trip() + (env[loop.Var]-loop.Lo)/loop.Step
+	}
+	return id
+}
+
+// ByKey returns the entry for a reference key (nil when absent).
+func (p *Plan) ByKey(key string) *Entry { return p.Entries[key] }
+
+// Order returns the plan entries in first-use order.
+func (p *Plan) Order() []*Entry { return p.order }
+
+// HitKeys returns, for the given iteration, the set of reference keys whose
+// access hits registers — the scheduler's iteration-class signature.
+func (p *Plan) HitKeys(env map[string]int) string {
+	sig := make([]byte, len(p.order))
+	for i, e := range p.order {
+		if e.Hit(env) {
+			sig[i] = '1'
+		} else {
+			sig[i] = '0'
+		}
+	}
+	return string(sig)
+}
+
+// TotalRegisters sums β across the plan (diagnostic).
+func (p *Plan) TotalRegisters() int {
+	t := 0
+	for _, e := range p.order {
+		t += e.Beta
+	}
+	return t
+}

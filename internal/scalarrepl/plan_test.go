@@ -1,0 +1,268 @@
+package scalarrepl
+
+import (
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/reuse"
+)
+
+const figure1Src = `
+kernel figure1;
+array a[30]:8;
+array b[30][20]:8;
+array c[20]:8;
+array d[2][30]:8;
+array e[2][20][30]:8;
+for i = 0..2 {
+  for j = 0..20 {
+    for k = 0..30 {
+      d[i][k] = a[k] * b[k][j];
+      e[i][j][k] = c[j] * d[i][k];
+    }
+  }
+}
+`
+
+func figure1Plan(t *testing.T, beta map[string]int) *Plan {
+	t.Helper()
+	n := dsl.MustParse(figure1Src)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(n, infos, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// cpaBeta is the paper's CPA-RA outcome for Figure 1 at Rmax=64.
+func cpaBeta() map[string]int {
+	return map[string]int{
+		"a[k]": 16, "b[k][j]": 16, "c[j]": 1, "d[i][k]": 30, "e[i][j][k]": 1,
+	}
+}
+
+func env(i, j, k int) map[string]int { return map[string]int{"i": i, "j": j, "k": k} }
+
+// TestCoverageRules pins the coverage derivation for the CPA-RA example.
+func TestCoverageRules(t *testing.T) {
+	p := figure1Plan(t, cpaBeta())
+	want := map[string]int{
+		"a[k]":       16, // partial window
+		"b[k][j]":    16, // partial window
+		"c[j]":       0,  // β=1 with ν=20: staging only
+		"d[i][k]":    30, // full
+		"e[i][j][k]": 0,  // no reuse
+	}
+	for key, cov := range want {
+		if got := p.ByKey(key).Coverage; got != cov {
+			t.Errorf("coverage(%s) = %d, want %d", key, got, cov)
+		}
+	}
+	if !p.ByKey("d[i][k]").FullyReplaced() {
+		t.Error("d should be fully replaced")
+	}
+	if p.ByKey("a[k]").FullyReplaced() {
+		t.Error("a is only partially replaced")
+	}
+	if p.TotalRegisters() != 64 {
+		t.Errorf("total = %d, want 64", p.TotalRegisters())
+	}
+}
+
+// TestHitPattern pins the paper's per-iteration residency: a and b hit for
+// k<16 at every j, d always, c and e never.
+func TestHitPattern(t *testing.T) {
+	p := figure1Plan(t, cpaBeta())
+	for _, j := range []int{0, 7, 19} {
+		for k := 0; k < 30; k++ {
+			ev := env(1, j, k)
+			if got, want := p.ByKey("a[k]").Hit(ev), k < 16; got != want {
+				t.Fatalf("a hit at j=%d k=%d = %v, want %v", j, k, got, want)
+			}
+			if got, want := p.ByKey("b[k][j]").Hit(ev), k < 16; got != want {
+				t.Fatalf("b hit at j=%d k=%d = %v, want %v", j, k, got, want)
+			}
+			if !p.ByKey("d[i][k]").Hit(ev) {
+				t.Fatalf("d must always hit at j=%d k=%d", j, k)
+			}
+			if p.ByKey("c[j]").Hit(ev) || p.ByKey("e[i][j][k]").Hit(ev) {
+				t.Fatalf("c and e must never hit")
+			}
+		}
+	}
+}
+
+// TestPRRAHitPattern: β(d)=12 makes exactly the k<12 iterations hit — the
+// paper's "12 out of the 30 iterations of k" sentence.
+func TestPRRAHitPattern(t *testing.T) {
+	p := figure1Plan(t, map[string]int{
+		"a[k]": 30, "b[k][j]": 1, "c[j]": 20, "d[i][k]": 12, "e[i][j][k]": 1,
+	})
+	hits := 0
+	for k := 0; k < 30; k++ {
+		if p.ByKey("d[i][k]").Hit(env(0, 3, k)) {
+			hits++
+			if k >= 12 {
+				t.Fatalf("d hit at k=%d with coverage 12", k)
+			}
+		}
+	}
+	if hits != 12 {
+		t.Fatalf("d hits %d iterations, want 12", hits)
+	}
+	// c has full coverage: hits every iteration.
+	for _, ev := range []map[string]int{env(0, 0, 0), env(1, 19, 29)} {
+		if !p.ByKey("c[j]").Hit(ev) {
+			t.Fatal("fully covered c must hit")
+		}
+	}
+}
+
+// TestSlidingWindowOrdinals: FIR-style x[i+k] has window ordinal k at every
+// i — the rotating-register model.
+func TestSlidingWindowOrdinals(t *testing.T) {
+	n := dsl.MustParse(`
+array x[40]:8;
+array c[8]:8;
+array y[32]:16;
+for i = 0..32 {
+  for k = 0..8 {
+    y[i] = y[i] + c[k] * x[i + k];
+  }
+}
+`)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(n, infos, map[string]int{"x[i + k]": 5, "c[k]": 8, "y[i]": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := p.ByKey("x[i + k]")
+	for i := 0; i < 32; i += 9 {
+		for k := 0; k < 8; k++ {
+			ev := map[string]int{"i": i, "k": k}
+			if got := x.WindowOrdinal(ev); got != k {
+				t.Fatalf("window ordinal at i=%d k=%d = %d, want %d", i, k, got, k)
+			}
+			if got, want := x.Hit(ev), k < 5; got != want {
+				t.Fatalf("x hit at i=%d k=%d = %v, want %v", i, k, got, want)
+			}
+		}
+	}
+	// y is an accumulator: ν=1, β=1 → fully replaced, hits always.
+	y := p.ByKey("y[i]")
+	if !y.FullyReplaced() || !y.Hit(map[string]int{"i": 3, "k": 4}) {
+		t.Error("accumulator y must be register-resident")
+	}
+	if y.WriteFirst {
+		t.Error("y is read before written (accumulation)")
+	}
+}
+
+// TestWriteFirstDetection: d is written before read; inputs are read-only.
+func TestWriteFirstDetection(t *testing.T) {
+	p := figure1Plan(t, cpaBeta())
+	if !p.ByKey("d[i][k]").WriteFirst {
+		t.Error("d should be write-first")
+	}
+	if p.ByKey("a[k]").WriteFirst {
+		t.Error("a is read-only")
+	}
+}
+
+// TestAliasGuard: when two distinct references touch an array that one of
+// them writes, both lose register residency.
+func TestAliasGuard(t *testing.T) {
+	n := dsl.MustParse(`
+array x[34]:8;
+array y[32]:8;
+for i = 0..32 {
+  for k = 0..2 {
+    x[i] = x[i + k] + 1;
+    y[i] = x[i + 2];
+  }
+}
+`)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := map[string]int{}
+	for _, inf := range infos {
+		beta[inf.Key()] = inf.Nu
+	}
+	p, err := NewPlan(n, infos, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, e := range p.Entries {
+		if e.Info.Group.Ref.Array.Name == "x" {
+			if !e.Aliased || e.Coverage != 0 {
+				t.Errorf("%s: aliased=%v coverage=%d, want true/0", key, e.Aliased, e.Coverage)
+			}
+		}
+	}
+	if p.ByKey("y[i]").Aliased {
+		t.Error("y is written by only one reference: not aliased")
+	}
+}
+
+// TestRegions: d's registers persist across j (its reuse loop) and flush
+// when i changes.
+func TestRegions(t *testing.T) {
+	n := dsl.MustParse(figure1Src)
+	p := figure1Plan(t, cpaBeta())
+	d := p.ByKey("d[i][k]")
+	if r0, r1 := d.RegionOf(n, env(0, 3, 5)), d.RegionOf(n, env(0, 17, 2)); r0 != r1 {
+		t.Errorf("d regions differ across j: %d vs %d", r0, r1)
+	}
+	if r0, r1 := d.RegionOf(n, env(0, 3, 5)), d.RegionOf(n, env(1, 3, 5)); r0 == r1 {
+		t.Errorf("d regions must differ across i")
+	}
+	// a's reuse level is 0: single global region.
+	a := p.ByKey("a[k]")
+	if a.RegionOf(n, env(0, 0, 0)) != a.RegionOf(n, env(1, 19, 29)) {
+		t.Error("a should have one global region")
+	}
+}
+
+// TestHitKeysSignature: the class signature distinguishes the k<16 and
+// k≥16 iteration classes and nothing else.
+func TestHitKeysSignature(t *testing.T) {
+	p := figure1Plan(t, cpaBeta())
+	sigs := map[string]bool{}
+	for j := 0; j < 20; j++ {
+		for k := 0; k < 30; k++ {
+			sigs[p.HitKeys(env(1, j, k))] = true
+		}
+	}
+	if len(sigs) != 2 {
+		t.Fatalf("expected 2 iteration classes, got %d", len(sigs))
+	}
+}
+
+func TestNewPlanErrors(t *testing.T) {
+	n := dsl.MustParse(figure1Src)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlan(n, infos, map[string]int{}); err == nil {
+		t.Error("missing β entries should fail")
+	}
+	bad := cpaBeta()
+	bad["a[k]"] = 0
+	if _, err := NewPlan(n, infos, bad); err == nil {
+		t.Error("β=0 should fail")
+	}
+	if _, err := NewPlan(&ir.Nest{}, infos, cpaBeta()); err == nil {
+		t.Error("empty nest should fail")
+	}
+}

@@ -1,0 +1,403 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/reuse"
+	"repro/internal/scalarrepl"
+)
+
+const figure1Src = `
+kernel figure1;
+array a[30]:8;
+array b[30][20]:8;
+array c[20]:8;
+array d[2][30]:8;
+array e[2][20][30]:8;
+for i = 0..2 {
+  for j = 0..20 {
+    for k = 0..30 {
+      d[i][k] = a[k] * b[k][j];
+      e[i][j][k] = c[j] * d[i][k];
+    }
+  }
+}
+`
+
+func figure1Sim(t *testing.T, beta map[string]int) (*ir.Nest, *Result) {
+	t.Helper()
+	n := dsl.MustParse(figure1Src)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := scalarrepl.NewPlan(n, infos, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(n, plan, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, res
+}
+
+func frBeta() map[string]int {
+	return map[string]int{"a[k]": 30, "b[k][j]": 1, "c[j]": 20, "d[i][k]": 1, "e[i][j][k]": 1}
+}
+func prBeta() map[string]int {
+	return map[string]int{"a[k]": 30, "b[k][j]": 1, "c[j]": 20, "d[i][k]": 12, "e[i][j][k]": 1}
+}
+func cpaBeta() map[string]int {
+	return map[string]int{"a[k]": 16, "b[k][j]": 16, "c[j]": 1, "d[i][k]": 30, "e[i][j][k]": 1}
+}
+
+// TestFigure2cTmem pins the paper's worked example. Per iteration of the
+// outer loop, the memory cycles on the critical path are 1800 (FR-RA) and
+// 1560 (PR-RA) exactly as printed in Figure 2(c); for CPA-RA our model
+// yields 1200 against the paper's 1184 (Δ1.4%, see DESIGN.md §4) — and the
+// ordering CPA < PR < FR, the claim under test, holds with margin.
+func TestFigure2cTmem(t *testing.T) {
+	n, fr := figure1Sim(t, frBeta())
+	if got := fr.MemPerOuter(n); got != 1800 {
+		t.Errorf("FR-RA Tmem/outer = %d, want 1800", got)
+	}
+	_, pr := figure1Sim(t, prBeta())
+	if got := pr.MemPerOuter(n); got != 1560 {
+		t.Errorf("PR-RA Tmem/outer = %d, want 1560", got)
+	}
+	_, cpa := figure1Sim(t, cpaBeta())
+	if got := cpa.MemPerOuter(n); got != 1200 {
+		t.Errorf("CPA-RA Tmem/outer = %d, want 1200 (paper: 1184)", got)
+	}
+	if !(cpa.MemCycles < pr.MemCycles && pr.MemCycles < fr.MemCycles) {
+		t.Errorf("ordering violated: CPA=%d PR=%d FR=%d", cpa.MemCycles, pr.MemCycles, fr.MemCycles)
+	}
+}
+
+// TestFigure2cIterationClasses checks the class structure the paper
+// narrates: PR-RA has two classes split 12/18 per k sweep; CPA-RA two
+// classes split 16/14.
+func TestFigure2cIterationClasses(t *testing.T) {
+	_, pr := figure1Sim(t, prBeta())
+	if len(pr.Classes) != 2 {
+		t.Fatalf("PR-RA classes = %d, want 2", len(pr.Classes))
+	}
+	// 18/30 of iterations miss on d (count 720 of 1200), 12/30 hit (480).
+	if pr.Classes[0].Count != 720 || pr.Classes[1].Count != 480 {
+		t.Errorf("PR-RA class counts = %d/%d, want 720/480", pr.Classes[0].Count, pr.Classes[1].Count)
+	}
+	if pr.Classes[0].MemCycles != 3 || pr.Classes[1].MemCycles != 2 {
+		t.Errorf("PR-RA class mem levels = %d/%d, want 3/2", pr.Classes[0].MemCycles, pr.Classes[1].MemCycles)
+	}
+	_, cpa := figure1Sim(t, cpaBeta())
+	if len(cpa.Classes) != 2 {
+		t.Fatalf("CPA-RA classes = %d, want 2", len(cpa.Classes))
+	}
+	// k<16: 640 iterations; k>=16: 560. Both classes spend 2 memory levels.
+	if cpa.Classes[0].Count != 640 || cpa.Classes[1].Count != 560 {
+		t.Errorf("CPA-RA class counts = %d/%d, want 640/560", cpa.Classes[0].Count, cpa.Classes[1].Count)
+	}
+	for _, c := range cpa.Classes {
+		if c.MemCycles != 2 {
+			t.Errorf("CPA-RA class %s mem levels = %d, want 2", c.Signature, c.MemCycles)
+		}
+	}
+}
+
+// TestTransferAccounting: FR-RA must load a (30) and c (20) once (global
+// regions, read-only) and write nothing back; CPA-RA additionally holds d
+// fully (write-back 30 per i region) and windows of a and b.
+func TestTransferAccounting(t *testing.T) {
+	_, fr := figure1Sim(t, frBeta())
+	if fr.TransferLoads != 50 || fr.TransferStores != 0 {
+		t.Errorf("FR-RA transfers = %d loads/%d stores, want 50/0", fr.TransferLoads, fr.TransferStores)
+	}
+	_, cpa := figure1Sim(t, cpaBeta())
+	// a: 16 covered elements loaded once (global window, never evicted).
+	// b: the 16-element window b[k<16][j] refills on (almost) every j sweep
+	// — 16 loads × 40 sweeps = 640, minus 15 of b's last-column elements
+	// that the min-flat eviction policy happens to keep resident across the
+	// i boundary: 625. d: write-first, no loads. Stores: d's 30 covered
+	// elements write back once per i region = 60.
+	if cpa.TransferLoads != 16+625 || cpa.TransferStores != 60 {
+		t.Errorf("CPA-RA transfers = %d loads/%d stores, want 641/60", cpa.TransferLoads, cpa.TransferStores)
+	}
+	if cpa.TransferCycles != (641+60)*1 {
+		t.Errorf("transfer cycles = %d", cpa.TransferCycles)
+	}
+	// Non-overlappable overhead: cold fill of a (16) and b (16), drain of
+	// d's 30-element window; c and e are uncovered.
+	if cpa.OverheadCycles != 16+16+30 {
+		t.Errorf("overhead cycles = %d, want 62", cpa.OverheadCycles)
+	}
+	if cpa.TotalCycles != cpa.LoopCycles+cpa.OverheadCycles {
+		t.Error("TotalCycles mismatch")
+	}
+}
+
+// TestRAMAccessCounts: steady-state RAM traffic per allocation.
+func TestRAMAccessCounts(t *testing.T) {
+	// FR-RA: misses are b (read), d (write), e (write): 3 × 1200.
+	_, fr := figure1Sim(t, frBeta())
+	if fr.RAMAccesses != 3*1200 {
+		t.Errorf("FR-RA RAM accesses = %d, want 3600", fr.RAMAccesses)
+	}
+	// CPA-RA: c+e always (2×1200) plus a,b for k≥16 (2×560).
+	_, cpa := figure1Sim(t, cpaBeta())
+	if want := 2*1200 + 2*560; cpa.RAMAccesses != want {
+		t.Errorf("CPA-RA RAM accesses = %d, want %d", cpa.RAMAccesses, want)
+	}
+}
+
+// TestPortSerialization: with a single-ported RAM, two same-array accesses
+// in one iteration serialize; a dual-ported RAM overlaps them.
+func TestPortSerialization(t *testing.T) {
+	n := dsl.MustParse(`
+array x[34]:8;
+array y[32]:8;
+for i = 0..32 {
+  y[i] = x[i] + x[i + 2];
+}
+`)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := map[string]int{}
+	for _, inf := range infos {
+		beta[inf.Key()] = 1
+	}
+	plan, err := scalarrepl.NewPlan(n, infos, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Simulate(n, plan, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgDual := DefaultConfig()
+	cfgDual.PortsPerRAM = 2
+	dual, err := Simulate(n, plan, cfgDual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single port: x reads at cycles 0 and 1 → add at 2 → y at 3: 4 cycles.
+	// Dual port: both reads at 0 → 3 cycles.
+	if single.Classes[0].IterCycles != 4 {
+		t.Errorf("single-port iteration = %d, want 4", single.Classes[0].IterCycles)
+	}
+	if dual.Classes[0].IterCycles != 3 {
+		t.Errorf("dual-port iteration = %d, want 3", dual.Classes[0].IterCycles)
+	}
+}
+
+// TestMemLatencySweep: Tmem scales linearly with the RAM access latency.
+func TestMemLatencySweep(t *testing.T) {
+	n := dsl.MustParse(figure1Src)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := scalarrepl.NewPlan(n, infos, frBeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	base, err := Simulate(n, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Lat.Mem = 2
+	doubled, err := Simulate(n, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.MemCycles != 2*base.MemCycles {
+		t.Errorf("Mem=2 Tmem = %d, want %d", doubled.MemCycles, 2*base.MemCycles)
+	}
+}
+
+// TestFuncSimPreservesSemantics: the functional datapath simulation must
+// reproduce the reference interpreter's memory image for every allocator.
+func TestFuncSimPreservesSemantics(t *testing.T) {
+	n := dsl.MustParse(figure1Src)
+	p, err := core.NewProblem(n, 64, dfg.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range core.All() {
+		a, err := alg.Allocate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := scalarrepl.NewPlan(n, p.Infos, a.Beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := VerifyPlan(n, plan, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if stats.RegisterHits == 0 {
+			t.Errorf("%s: no register hits at all (plan inert?)", alg.Name())
+		}
+	}
+}
+
+// TestFuncSimPropertyRandomBetas: random feasible β vectors never change
+// program semantics, and the peak register liveness never exceeds Σβ.
+func TestFuncSimPropertyRandomBetas(t *testing.T) {
+	n := dsl.MustParse(figure1Src)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		beta := map[string]int{}
+		total := 0
+		for _, inf := range infos {
+			b := 1 + rng.Intn(inf.Nu)
+			beta[inf.Key()] = b
+			total += b
+		}
+		plan, err := scalarrepl.NewPlan(n, infos, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := VerifyPlan(n, plan, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d (β=%v): %v", trial, beta, err)
+		}
+		covered := 0
+		for _, e := range plan.Order() {
+			covered += e.Coverage
+		}
+		if stats.MaxLive > covered {
+			t.Fatalf("trial %d: %d live registers exceed total coverage %d", trial, stats.MaxLive, covered)
+		}
+	}
+}
+
+// TestFuncSimAccumulator: the sliding-window FIR with a register-resident
+// accumulator is the trickiest storage pattern; verify semantics end to end
+// across a β sweep of the window.
+func TestFuncSimAccumulator(t *testing.T) {
+	n := dsl.MustParse(`
+array x[40]:8;
+array c[8]:8;
+array y[32]:16;
+for i = 0..32 {
+  for k = 0..8 {
+    y[i] = y[i] + c[k] * x[i + k];
+  }
+}
+`)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bx := 1; bx <= 8; bx++ {
+		plan, err := scalarrepl.NewPlan(n, infos, map[string]int{
+			"x[i + k]": bx, "c[k]": 8, "y[i]": 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := VerifyPlan(n, plan, 7); err != nil {
+			t.Fatalf("β(x)=%d: %v", bx, err)
+		}
+	}
+}
+
+// TestFuncSimTrafficMatchesTransferCounts: for the CPA allocation the
+// functional simulation's fills/write-backs equal the analytic transfer
+// enumeration (loads exclude write-first references, stores count dirty
+// write-backs).
+func TestFuncSimTrafficMatchesTransferCounts(t *testing.T) {
+	n := dsl.MustParse(figure1Src)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := scalarrepl.NewPlan(n, infos, cpaBeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(n, plan, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := VerifyPlan(n, plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fills != res.TransferLoads {
+		t.Errorf("functional fills %d != analytic loads %d", stats.Fills, res.TransferLoads)
+	}
+	if stats.WriteBacks != res.TransferStores {
+		t.Errorf("functional write-backs %d != analytic stores %d", stats.WriteBacks, res.TransferStores)
+	}
+	// Steady-state misses must also agree: RAM traffic minus transfers.
+	if got := stats.RAMReads - stats.Fills + stats.RAMWrites - stats.WriteBacks; got != res.RAMAccesses {
+		t.Errorf("functional steady RAM traffic %d != analytic %d", got, res.RAMAccesses)
+	}
+}
+
+// TestSimulateRejectsBadPorts guards the config validation.
+func TestSimulateRejectsBadPorts(t *testing.T) {
+	n := dsl.MustParse(figure1Src)
+	infos, _ := reuse.Analyze(n)
+	plan, _ := scalarrepl.NewPlan(n, infos, frBeta())
+	cfg := DefaultConfig()
+	cfg.PortsPerRAM = 0
+	if _, err := Simulate(n, plan, cfg); err == nil {
+		t.Fatal("expected error for zero ports")
+	}
+}
+
+// TestMoreRegistersNeverSlower: growing any single reference's β never
+// increases Tmem or total cycles (monotonicity of the model).
+func TestMoreRegistersNeverSlower(t *testing.T) {
+	n := dsl.MustParse(figure1Src)
+	infos, err := reuse.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := frBeta()
+	plan, err := scalarrepl.NewPlan(n, infos, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res0, err := Simulate(n, plan, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inf := range infos {
+		grown := map[string]int{}
+		for k, v := range base {
+			grown[k] = v
+		}
+		if grown[inf.Key()] < inf.Nu {
+			grown[inf.Key()] = inf.Nu
+		}
+		plan, err := scalarrepl.NewPlan(n, infos, grown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(n, plan, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MemCycles > res0.MemCycles || res.LoopCycles > res0.LoopCycles {
+			t.Errorf("growing %s to ν worsened cycles: %d→%d mem, %d→%d loop",
+				inf.Key(), res0.MemCycles, res.MemCycles, res0.LoopCycles, res.LoopCycles)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package vhdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/kernels"
+	"repro/internal/rtl"
+	"repro/internal/scalarrepl"
+	"repro/internal/sched"
+)
+
+func emitFor(t *testing.T, name string, alg core.Allocator) string {
+	t.Helper()
+	k, err := kernels.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := core.NewProblem(k.Nest, k.Rmax, dfg.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := alg.Allocate(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rtl.Build(k.Nest, plan, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Emit(f, name)
+}
+
+func TestEmitFigure1Structure(t *testing.T) {
+	s := emitFor(t, "figure1", core.CPARA{})
+	for _, frag := range []string{
+		"entity figure1 is",
+		"architecture behavioral of figure1 is",
+		"type r_a_t is array (0 to 15) of unsigned(7 downto 0)", // a's 16-reg window
+		"type r_d_t is array (0 to 29) of unsigned(7 downto 0)", // d's full bank
+		"signal cnt_i : unsigned(0 downto 0)",                   // i counts 0..1
+		"signal cnt_k : unsigned(4 downto 0)",                   // k counts 0..29
+		"e_addr",                                                // BRAM port signals
+		"type state_t is (S_IDLE",
+		"when S_IDLE =>",
+		"c_en <= '1'; c_we <= '0'; -- ram read c[j]",
+		"e_en <= '1'; e_we <= '1'; -- ram write e[i][j][k]",
+		"-- reg read: a[k] from r_a",
+		"end architecture behavioral;",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("VHDL missing %q", frag)
+		}
+	}
+	// c and e are uncovered: no register banks.
+	if strings.Contains(s, "r_c_t") || strings.Contains(s, "r_e_t") {
+		t.Error("uncovered references must not get register banks")
+	}
+}
+
+func TestEmitDeterministic(t *testing.T) {
+	a := emitFor(t, "figure1", core.CPARA{})
+	b := emitFor(t, "figure1", core.CPARA{})
+	if a != b {
+		t.Fatal("emission not deterministic")
+	}
+}
+
+func TestEmitStateCountsMatchFSMD(t *testing.T) {
+	k, _ := kernels.ByName("figure1")
+	prob, err := core.NewProblem(k.Nest, 64, dfg.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := (core.CPARA{}).Allocate(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rtl.Build(k.Nest, plan, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Emit(f, "figure1")
+	// One "when S_C..." clause per (class, cycle).
+	wantWhens := 0
+	for _, cf := range f.Classes {
+		wantWhens += cf.States
+	}
+	got := strings.Count(s, "when S_C")
+	if got != wantWhens {
+		t.Errorf("emitted %d state clauses, FSMD has %d", got, wantWhens)
+	}
+}
+
+func TestEmitAllKernels(t *testing.T) {
+	for _, k := range kernels.All() {
+		s := emitFor(t, k.Name, core.CPARA{})
+		if !strings.Contains(s, "entity "+k.Name) {
+			t.Errorf("%s: bad entity", k.Name)
+		}
+		// Balanced process/end, case/end case.
+		if strings.Count(s, "process") != 2 { // "control : process" + "end process"
+			t.Errorf("%s: unbalanced process block", k.Name)
+		}
+		if strings.Count(s, "case state is") != 1 || strings.Count(s, "end case") != 1 {
+			t.Errorf("%s: unbalanced case", k.Name)
+		}
+	}
+}
+
+func TestCounterBits(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 30: 5, 32: 5, 33: 6, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := counterBits(n); got != want {
+			t.Errorf("counterBits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
