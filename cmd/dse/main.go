@@ -1,0 +1,164 @@
+// Command dse runs a concurrent design-space exploration over the kernel
+// suite: the cross-product of kernels × allocators × register budgets ×
+// devices × scheduler configurations is evaluated on a worker pool, the
+// per-kernel Pareto frontier over (time, slices, registers) is extracted,
+// and the results are reported as a table, CSV or JSON. Output is
+// byte-identical whatever the worker count.
+//
+// Usage:
+//
+//	dse                                  # stock 192-point sweep, text table
+//	dse -format csv -budgets 16,32,64,128 > sweep.csv
+//	dse -format json -kernels fir,mat -allocs CPA-RA,KS-RA -workers 8
+//	dse -devices XCV1000,XC2V6000,XC2V1000 -memlat 1,2,4 -ports 1,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/fpga"
+	"repro/internal/kernels"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		kernelList = flag.String("kernels", "", "comma-separated kernels (default: the six Table-1 kernels)")
+		allocList  = flag.String("allocs", "", "comma-separated allocators (default: FR-RA,PR-RA,CPA-RA,KS-RA)")
+		budgetList = flag.String("budgets", "16,32,64,128", "comma-separated register budgets (0 = kernel default)")
+		deviceList = flag.String("devices", "XCV1000,XC2V6000", "comma-separated device presets")
+		memlatList = flag.String("memlat", "1", "comma-separated RAM access latencies (cycles)")
+		portsList  = flag.String("ports", "1", "comma-separated RAM port counts")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		format     = flag.String("format", "table", "output format: table, csv or json")
+		strict     = flag.Bool("strict", false, "exit non-zero when any design point fails")
+	)
+	flag.Parse()
+	if err := run(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList, *workers, *format, *strict); err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string, workers int, format string, strict bool) error {
+	sp, err := buildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList)
+	if err != nil {
+		return err
+	}
+	var rep dse.Reporter
+	switch format {
+	case "table":
+		rep = dse.TableReporter{}
+	case "csv":
+		rep = dse.CSVReporter{Pareto: true}
+	case "json":
+		rep = dse.JSONReporter{Indent: true}
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv or json)", format)
+	}
+	start := time.Now()
+	rs, err := dse.Engine{Workers: workers}.Explore(sp)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dse: %d points in %v (%d failed)\n",
+		len(rs.Results), time.Since(start).Round(time.Millisecond), len(rs.Failed()))
+	if err := rep.Report(os.Stdout, rs); err != nil {
+		return err
+	}
+	if strict {
+		return rs.FirstErr()
+	}
+	return nil
+}
+
+func buildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList string) (dse.Space, error) {
+	var sp dse.Space
+	if kernelList == "" {
+		sp.Kernels = kernels.All()
+	} else {
+		for _, name := range splitList(kernelList) {
+			k, err := kernels.ByName(name)
+			if err != nil {
+				return sp, err
+			}
+			sp.Kernels = append(sp.Kernels, k)
+		}
+	}
+	if allocList == "" {
+		sp.Allocators = core.All()
+	} else {
+		for _, name := range splitList(allocList) {
+			a, err := core.ByName(name)
+			if err != nil {
+				return sp, err
+			}
+			sp.Allocators = append(sp.Allocators, a)
+		}
+	}
+	budgets, err := parseInts(budgetList, 0)
+	if err != nil {
+		return sp, fmt.Errorf("bad -budgets: %w", err)
+	}
+	sp.Budgets = budgets
+	for _, name := range splitList(deviceList) {
+		d, err := fpga.ByName(name)
+		if err != nil {
+			return sp, err
+		}
+		sp.Devices = append(sp.Devices, d)
+	}
+	memlats, err := parseInts(memlatList, 1)
+	if err != nil {
+		return sp, fmt.Errorf("bad -memlat: %w", err)
+	}
+	ports, err := parseInts(portsList, 1)
+	if err != nil {
+		return sp, fmt.Errorf("bad -ports: %w", err)
+	}
+	for _, lat := range memlats {
+		for _, p := range ports {
+			cfg := sched.DefaultConfig()
+			cfg.Lat.Mem = lat
+			cfg.PortsPerRAM = p
+			name := "default"
+			if len(memlats) > 1 || len(ports) > 1 || lat != 1 || p != 1 {
+				name = fmt.Sprintf("m%dp%d", lat, p)
+			}
+			sp.Scheds = append(sp.Scheds, dse.SchedVariant{Name: name, Config: cfg})
+		}
+	}
+	return sp, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string, min int) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil || v < min {
+			return nil, fmt.Errorf("bad value %q (want integer ≥ %d)", f, min)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

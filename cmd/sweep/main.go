@@ -1,16 +1,20 @@
 // Command sweep runs parameter sweeps over the kernel suite and writes CSV
 // for plotting: register budget, RAM latency and RAM port count, for every
-// kernel × allocator combination.
+// kernel × allocator combination. Each axis is a thin wrapper over the
+// internal/dse exploration engine, so points are evaluated concurrently
+// (-workers) with the per-kernel front-end analysis shared across points;
+// the row order and bytes are identical whatever the worker count.
 //
 // Usage:
 //
 //	sweep -axis rmax -values 8,16,32,64,128 > rmax.csv
 //	sweep -axis memlat -values 1,2,4 -kernel fir
-//	sweep -axis ports -values 1,2
+//	sweep -axis ports -values 1,2 -workers 8
 package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,24 +22,26 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/hls"
+	"repro/internal/dse"
 	"repro/internal/kernels"
+	"repro/internal/sched"
 )
 
 func main() {
 	var (
-		axis   = flag.String("axis", "rmax", "sweep axis: rmax, memlat, ports")
-		values = flag.String("values", "8,16,32,64,128", "comma-separated axis values")
-		kernel = flag.String("kernel", "", "restrict to one kernel (default: all six)")
+		axis    = flag.String("axis", "rmax", "sweep axis: rmax, memlat, ports")
+		values  = flag.String("values", "8,16,32,64,128", "comma-separated axis values")
+		kernel  = flag.String("kernel", "", "restrict to one kernel (default: all six)")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*axis, *values, *kernel); err != nil {
+	if err := run(*axis, *values, *kernel, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(axis, values, kernel string) error {
+func run(axis, values, kernel string, workers int) error {
 	var vals []int
 	for _, s := range strings.Split(values, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -44,48 +50,66 @@ func run(axis, values, kernel string) error {
 		}
 		vals = append(vals, v)
 	}
-	ks := kernels.All()
+	sp := dse.Space{
+		Kernels:    kernels.All(),
+		Allocators: core.All(),
+	}
 	if kernel != "" {
 		k, err := kernels.ByName(kernel)
 		if err != nil {
 			return err
 		}
-		ks = []kernels.Kernel{k}
+		sp.Kernels = []kernels.Kernel{k}
+	}
+	// The swept axis maps onto one engine axis; the others stay singleton.
+	switch axis {
+	case "rmax":
+		sp.Budgets = vals
+	case "memlat", "ports":
+		for _, v := range vals {
+			cfg := sched.DefaultConfig()
+			if axis == "memlat" {
+				cfg.Lat.Mem = v
+			} else {
+				cfg.PortsPerRAM = v
+			}
+			sp.Scheds = append(sp.Scheds, dse.SchedVariant{Name: strconv.Itoa(v), Config: cfg})
+		}
+	default:
+		return fmt.Errorf("unknown axis %q (want rmax, memlat or ports)", axis)
+	}
+	rs, err := dse.Engine{Workers: workers}.Explore(sp)
+	if err != nil {
+		return err
 	}
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	if err := w.Write([]string{"kernel", "algorithm", axis, "registers", "cycles", "tmem", "clock_ns", "time_us", "slices", "brams"}); err != nil {
 		return err
 	}
-	for _, k := range ks {
-		for _, alg := range []core.Allocator{core.FRRA{}, core.PRRA{}, core.CPARA{}, core.Knapsack{}} {
-			for _, v := range vals {
-				opt := hls.DefaultOptions()
-				switch axis {
-				case "rmax":
-					opt.Rmax = v
-				case "memlat":
-					opt.Sched.Lat.Mem = v
-				case "ports":
-					opt.Sched.PortsPerRAM = v
-				default:
-					return fmt.Errorf("unknown axis %q (want rmax, memlat or ports)", axis)
-				}
-				d, err := hls.Estimate(k, alg, opt)
-				if err != nil {
-					return fmt.Errorf("%s/%s %s=%d: %w", k.Name, alg.Name(), axis, v, err)
-				}
-				rec := []string{
-					k.Name, alg.Name(), strconv.Itoa(v),
-					strconv.Itoa(d.Registers), strconv.Itoa(d.Cycles), strconv.Itoa(d.MemCycles),
-					fmt.Sprintf("%.1f", d.ClockNs), fmt.Sprintf("%.1f", d.TimeUs),
-					strconv.Itoa(d.Slices), strconv.Itoa(d.RAMs),
-				}
-				if err := w.Write(rec); err != nil {
-					return err
-				}
-			}
+	// Every per-point estimation failure is propagated — after the
+	// successful rows are written, so one infeasible point does not
+	// suppress the rest of the sweep.
+	var errs []error
+	for _, r := range rs.Results {
+		p := r.Point
+		// The swept axis is the innermost populated one either way, so
+		// consecutive points cycle through vals in order.
+		v := vals[p.Index%len(vals)]
+		if !r.Ok() {
+			errs = append(errs, fmt.Errorf("%s/%s %s=%d: %w", p.Kernel.Name, p.Allocator.Name(), axis, v, r.Err))
+			continue
+		}
+		d := r.Design
+		rec := []string{
+			p.Kernel.Name, p.Allocator.Name(), strconv.Itoa(v),
+			strconv.Itoa(d.Registers), strconv.Itoa(d.Cycles), strconv.Itoa(d.MemCycles),
+			fmt.Sprintf("%.1f", d.ClockNs), fmt.Sprintf("%.1f", d.TimeUs),
+			strconv.Itoa(d.Slices), strconv.Itoa(d.RAMs),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

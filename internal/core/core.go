@@ -49,6 +49,15 @@ func NewProblem(nest *ir.Nest, rmax int, lat dfg.Latencies) (*Problem, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewProblemFrom(nest, infos, g, rmax, lat)
+}
+
+// NewProblemFrom packages a problem from a pre-computed front-end (reuse
+// infos and body DFG), so a caller sweeping many budgets or latency models
+// over one nest analyzes it once. The infos and graph are shared, never
+// copied; they are read-only to every allocator, so one analysis may back
+// any number of concurrent problems.
+func NewProblemFrom(nest *ir.Nest, infos []*reuse.Info, g *dfg.Graph, rmax int, lat dfg.Latencies) (*Problem, error) {
 	if rmax < len(infos) {
 		return nil, fmt.Errorf("core: budget %d below the %d references of %q (one staging register each)",
 			rmax, len(infos), nest.Name)

@@ -1,0 +1,161 @@
+// Package dse is the design-space exploration engine: it evaluates the
+// cross-product of kernels × allocators × register budgets × devices ×
+// scheduler configurations concurrently on a worker pool and collects the
+// estimated designs into a deterministically-ordered result set with
+// Pareto-frontier extraction and pluggable reporters.
+//
+// The engine memoizes the per-kernel front-end: reuse analysis and the
+// body data-flow graph (hls.Analysis) are built once per kernel and shared
+// — read-only — by every design point of that kernel, instead of being
+// rebuilt per point as hls.Estimate does. With B budgets, D devices, A
+// allocators and S scheduler variants, the front-end runs once instead of
+// A·B·D·S times per kernel.
+//
+// Results are stored by point index, so the output is byte-identical
+// whatever the worker count or completion order; per-point estimation
+// failures (infeasible budget, device capacity) are recorded in the result
+// row rather than aborting the sweep.
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/hls"
+)
+
+// Result is the outcome of one design point: the estimated design, or the
+// estimation error (infeasible budget, device capacity, ...).
+type Result struct {
+	Point  Point
+	Design *hls.Design // nil when Err != nil
+	Err    error
+}
+
+// Ok reports whether the point produced a design.
+func (r Result) Ok() bool { return r.Err == nil && r.Design != nil }
+
+// ResultSet holds every result of one exploration in canonical point
+// order (Results[i].Point.Index == i).
+type ResultSet struct {
+	Space   Space // normalized: every axis populated
+	Results []Result
+}
+
+// Ok returns the successful results, in point order.
+func (rs *ResultSet) Ok() []Result {
+	var ok []Result
+	for _, r := range rs.Results {
+		if r.Ok() {
+			ok = append(ok, r)
+		}
+	}
+	return ok
+}
+
+// Failed returns the failed results, in point order.
+func (rs *ResultSet) Failed() []Result {
+	var failed []Result
+	for _, r := range rs.Results {
+		if !r.Ok() {
+			failed = append(failed, r)
+		}
+	}
+	return failed
+}
+
+// FirstErr returns the first per-point error in point order, or nil.
+func (rs *ResultSet) FirstErr() error {
+	for _, r := range rs.Results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Point.ID(), r.Err)
+		}
+	}
+	return nil
+}
+
+// Engine evaluates design spaces on a bounded worker pool.
+type Engine struct {
+	// Workers is the pool size; ≤0 uses GOMAXPROCS.
+	Workers int
+}
+
+func (e Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Explore evaluates every point of the space and returns the full result
+// set. Per-point estimation failures land in the corresponding Result;
+// Explore itself errors only when the space is malformed or a kernel's
+// front-end analysis fails (which would poison all of its points).
+func (e Engine) Explore(sp Space) (*ResultSet, error) {
+	sp, err := sp.normalized()
+	if err != nil {
+		return nil, err
+	}
+	analyses, err := e.analyzeKernels(sp)
+	if err != nil {
+		return nil, err
+	}
+	pts := sp.Points()
+	results := make([]Result, len(pts))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < e.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				p := pts[i]
+				d, err := analyses[p.Kernel.Name].Estimate(p.Allocator, p.Options())
+				results[i] = Result{Point: p, Design: d, Err: err}
+			}
+		}()
+	}
+	for i := range pts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return &ResultSet{Space: sp, Results: results}, nil
+}
+
+// analyzeKernels builds the memoized front-end of every kernel on the
+// axis, concurrently (one analysis per kernel, however many points share
+// it).
+func (e Engine) analyzeKernels(sp Space) (map[string]*hls.Analysis, error) {
+	analyses := make(map[string]*hls.Analysis, len(sp.Kernels))
+	errs := make([]error, len(sp.Kernels))
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		sem = make(chan struct{}, e.workers())
+	)
+	for i, k := range sp.Kernels {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			a, err := hls.Analyze(k)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			analyses[k.Name] = a
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return analyses, nil
+}

@@ -1,0 +1,231 @@
+package dse
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/hls"
+	"repro/internal/kernels"
+	"repro/internal/sched"
+)
+
+// smallSpace is a fast 2×2×2×2 space over the two smallest kernels.
+func smallSpace() Space {
+	return Space{
+		Kernels:    []kernels.Kernel{kernels.Figure1(), kernels.FIR()},
+		Allocators: []core.Allocator{core.FRRA{}, core.CPARA{}},
+		Budgets:    []int{32, 64},
+		Devices:    []fpga.Device{fpga.XCV1000(), fpga.XC2V6000()},
+		Scheds:     []SchedVariant{DefaultSchedVariant()},
+	}
+}
+
+func mustExplore(t *testing.T, e Engine, sp Space) *ResultSet {
+	t.Helper()
+	rs, err := e.Explore(sp)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	return rs
+}
+
+func TestSpaceSizeAndOrder(t *testing.T) {
+	sp := smallSpace()
+	pts := sp.Points()
+	if len(pts) != sp.Size() || len(pts) != 16 {
+		t.Fatalf("got %d points, Size()=%d, want 16", len(pts), sp.Size())
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+	}
+	// Row-major: kernel outermost, device inner of budget.
+	if pts[0].ID() != "figure1/FR-RA/r32/XCV1000-BG560/default" {
+		t.Errorf("first point = %s", pts[0].ID())
+	}
+	if pts[1].Device.Name != "XC2V6000-FF1152" || pts[1].Budget != 32 {
+		t.Errorf("second point should vary the device first: %s", pts[1].ID())
+	}
+	if pts[8].Kernel.Name != "fir" {
+		t.Errorf("point 8 should start the second kernel block: %s", pts[8].ID())
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	sp, err := Space{
+		Kernels:    []kernels.Kernel{kernels.Figure1()},
+		Allocators: []core.Allocator{core.FRRA{}},
+	}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Budgets) != 1 || sp.Budgets[0] != 0 {
+		t.Errorf("Budgets default = %v, want [0]", sp.Budgets)
+	}
+	if len(sp.Devices) != 1 || sp.Devices[0].Name != fpga.XCV1000().Name {
+		t.Errorf("Devices default = %v, want the paper's XCV1000", sp.Devices)
+	}
+	if len(sp.Scheds) != 1 || sp.Scheds[0].Name != "default" {
+		t.Errorf("Scheds default = %v", sp.Scheds)
+	}
+
+	if _, err := (Space{Allocators: []core.Allocator{core.FRRA{}}}).normalized(); err == nil {
+		t.Error("empty kernel axis accepted")
+	}
+	if _, err := (Space{Kernels: []kernels.Kernel{kernels.FIR()}}).normalized(); err == nil {
+		t.Error("empty allocator axis accepted")
+	}
+	if _, err := (Space{
+		Kernels:    []kernels.Kernel{kernels.FIR(), kernels.FIR()},
+		Allocators: []core.Allocator{core.FRRA{}},
+	}).normalized(); err == nil {
+		t.Error("duplicate kernel accepted")
+	}
+}
+
+func TestExploreMatchesSerialEstimate(t *testing.T) {
+	sp := smallSpace()
+	sp.Budgets = []int{64} // serial re-estimation is the expensive half
+	rs := mustExplore(t, Engine{Workers: 4}, sp)
+	if len(rs.Results) != 8 {
+		t.Fatalf("got %d results", len(rs.Results))
+	}
+	for _, r := range rs.Results {
+		if !r.Ok() {
+			t.Fatalf("%s failed: %v", r.Point.ID(), r.Err)
+		}
+		want, err := hls.Estimate(r.Point.Kernel, r.Point.Allocator, r.Point.Options())
+		if err != nil {
+			t.Fatalf("serial estimate %s: %v", r.Point.ID(), err)
+		}
+		d := r.Design
+		if d.Registers != want.Registers || d.Cycles != want.Cycles || d.ClockNs != want.ClockNs ||
+			d.TimeUs != want.TimeUs || d.Slices != want.Slices || d.RAMs != want.RAMs {
+			t.Errorf("%s: engine %+v != serial %+v", r.Point.ID(), summary(d), summary(want))
+		}
+	}
+}
+
+func summary(d *hls.Design) [6]float64 {
+	return [6]float64{float64(d.Registers), float64(d.Cycles), d.ClockNs, d.TimeUs, float64(d.Slices), float64(d.RAMs)}
+}
+
+// TestExploreDeterministicAcrossWorkers is the core determinism contract:
+// every reporter's output is byte-identical whatever the worker count.
+func TestExploreDeterministicAcrossWorkers(t *testing.T) {
+	sp := Space{
+		Kernels:    []kernels.Kernel{kernels.Figure1()},
+		Allocators: core.All(),
+		Budgets:    []int{8, 16, 32, 64},
+		Devices:    []fpga.Device{fpga.XCV1000(), fpga.XC2V6000()},
+	}
+	render := func(workers int) (csvOut, jsonOut, tableOut string) {
+		rs := mustExplore(t, Engine{Workers: workers}, sp)
+		var c, j, tb bytes.Buffer
+		if err := (CSVReporter{Pareto: true}).Report(&c, rs); err != nil {
+			t.Fatal(err)
+		}
+		if err := (JSONReporter{Indent: true}).Report(&j, rs); err != nil {
+			t.Fatal(err)
+		}
+		if err := (TableReporter{}).Report(&tb, rs); err != nil {
+			t.Fatal(err)
+		}
+		return c.String(), j.String(), tb.String()
+	}
+	c1, j1, t1 := render(1)
+	for _, workers := range []int{2, 8} {
+		cN, jN, tN := render(workers)
+		if cN != c1 {
+			t.Errorf("CSV output differs between 1 and %d workers", workers)
+		}
+		if jN != j1 {
+			t.Errorf("JSON output differs between 1 and %d workers", workers)
+		}
+		if tN != t1 {
+			t.Errorf("table output differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+func TestExploreRecordsPerPointErrors(t *testing.T) {
+	// figure1 has 5 references, so a budget of 3 is infeasible; fir has 3,
+	// so the same budget succeeds — the sweep must keep both.
+	tiny := fpga.Device{Name: "tiny", Slices: 10, BlockRAMs: 1, BlockRAMBits: 4096}
+	sp := Space{
+		Kernels:    []kernels.Kernel{kernels.Figure1(), kernels.FIR()},
+		Allocators: []core.Allocator{core.FRRA{}},
+		Budgets:    []int{3, 64},
+		Devices:    []fpga.Device{fpga.XCV1000(), tiny},
+	}
+	rs := mustExplore(t, Engine{Workers: 3}, sp)
+	if len(rs.Results) != 8 {
+		t.Fatalf("got %d results", len(rs.Results))
+	}
+	var okCount, failCount int
+	for _, r := range rs.Results {
+		switch {
+		case r.Point.Budget == 3 && r.Point.Kernel.Name == "figure1":
+			if r.Ok() {
+				t.Errorf("%s: infeasible budget succeeded", r.Point.ID())
+			}
+			failCount++
+		case r.Point.Device.Name == "tiny":
+			if r.Ok() {
+				t.Errorf("%s: design fit a 10-slice device", r.Point.ID())
+			}
+			failCount++
+		default:
+			if !r.Ok() {
+				t.Errorf("%s: unexpected failure: %v", r.Point.ID(), r.Err)
+			}
+			okCount++
+		}
+	}
+	if okCount != len(rs.Ok()) || failCount != len(rs.Failed()) {
+		t.Errorf("Ok/Failed partition wrong: %d/%d vs %d/%d",
+			okCount, failCount, len(rs.Ok()), len(rs.Failed()))
+	}
+	if rs.FirstErr() == nil {
+		t.Error("FirstErr = nil with failed points present")
+	}
+}
+
+func TestExploreSchedAxis(t *testing.T) {
+	slow := sched.DefaultConfig()
+	slow.Lat.Mem = 4
+	sp := Space{
+		Kernels:    []kernels.Kernel{kernels.Figure1()},
+		Allocators: []core.Allocator{core.FRRA{}},
+		Scheds: []SchedVariant{
+			DefaultSchedVariant(),
+			{Name: "mem4", Config: slow},
+		},
+	}
+	rs := mustExplore(t, Engine{}, sp)
+	if len(rs.Results) != 2 {
+		t.Fatalf("got %d results", len(rs.Results))
+	}
+	fast, slowR := rs.Results[0], rs.Results[1]
+	if !fast.Ok() || !slowR.Ok() {
+		t.Fatalf("sched-axis points failed: %v / %v", fast.Err, slowR.Err)
+	}
+	if slowR.Design.Cycles <= fast.Design.Cycles {
+		t.Errorf("4-cycle RAM latency did not increase cycles: %d vs %d",
+			slowR.Design.Cycles, fast.Design.Cycles)
+	}
+}
+
+func TestDefaultSpaceShape(t *testing.T) {
+	sp := DefaultSpace()
+	if len(sp.Kernels) != 6 || len(sp.Allocators) != 4 || len(sp.Budgets) < 4 || len(sp.Devices) < 2 {
+		t.Fatalf("default space is %d kernels × %d allocators × %d budgets × %d devices, want 6×4×≥4×≥2",
+			len(sp.Kernels), len(sp.Allocators), len(sp.Budgets), len(sp.Devices))
+	}
+	if sp.Size() != len(sp.Kernels)*len(sp.Allocators)*len(sp.Budgets)*len(sp.Devices)*len(sp.Scheds) {
+		t.Errorf("Size() = %d, inconsistent with axes", sp.Size())
+	}
+}

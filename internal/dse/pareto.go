@@ -1,0 +1,70 @@
+package dse
+
+import "repro/internal/hls"
+
+// The Pareto objectives, all minimized: wall-clock execution time, slice
+// area, and register count. A design dominates another when it is no worse
+// on every objective and strictly better on at least one.
+func dominates(a, b *hls.Design) bool {
+	if a.TimeUs > b.TimeUs || a.Slices > b.Slices || a.Registers > b.Registers {
+		return false
+	}
+	return a.TimeUs < b.TimeUs || a.Slices < b.Slices || a.Registers < b.Registers
+}
+
+// Frontier extracts the Pareto-optimal subset of the given results over
+// (time, slices, registers), preserving point order. Failed results are
+// never on the frontier and never dominate. Results with identical
+// objective values are mutually non-dominating, so ties are all kept.
+func Frontier(results []Result) []Result {
+	var frontier []Result
+	for _, r := range results {
+		if !r.Ok() {
+			continue
+		}
+		dominated := false
+		for _, o := range results {
+			if o.Ok() && dominates(o.Design, r.Design) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, r)
+		}
+	}
+	return frontier
+}
+
+// KernelFrontier is the Pareto frontier of one kernel's design points.
+type KernelFrontier struct {
+	Kernel string
+	Points []Result
+}
+
+// FrontierByKernel extracts one Pareto frontier per kernel, in the
+// space's kernel-axis order. Comparing design points across kernels would
+// be meaningless — they compute different things — so domination is only
+// ever evaluated within a kernel.
+func (rs *ResultSet) FrontierByKernel() []KernelFrontier {
+	byKernel := map[string][]Result{}
+	for _, r := range rs.Results {
+		byKernel[r.Point.Kernel.Name] = append(byKernel[r.Point.Kernel.Name], r)
+	}
+	var out []KernelFrontier
+	for _, k := range rs.Space.Kernels {
+		out = append(out, KernelFrontier{Kernel: k.Name, Points: Frontier(byKernel[k.Name])})
+	}
+	return out
+}
+
+// paretoIndexSet returns the point indices on some kernel's frontier.
+func paretoIndexSet(fronts []KernelFrontier) map[int]bool {
+	set := map[int]bool{}
+	for _, kf := range fronts {
+		for _, r := range kf.Points {
+			set[r.Point.Index] = true
+		}
+	}
+	return set
+}

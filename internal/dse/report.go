@@ -1,0 +1,228 @@
+package dse
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Reporter renders a result set. All reporters emit results in canonical
+// point order, so for a fixed space the output is byte-identical whatever
+// worker count produced the set.
+type Reporter interface {
+	Report(w io.Writer, rs *ResultSet) error
+}
+
+// CSVReporter writes one row per design point.
+type CSVReporter struct {
+	// Pareto adds a trailing column marking kernel-frontier membership.
+	Pareto bool
+}
+
+// Report implements Reporter.
+func (c CSVReporter) Report(w io.Writer, rs *ResultSet) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"kernel", "algorithm", "rmax", "device", "sched",
+		"registers", "cycles", "tmem", "clock_ns", "time_us", "slices", "slice_util_pct", "brams", "error",
+	}
+	if c.Pareto {
+		header = append(header, "pareto")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	pareto := map[int]bool{}
+	if c.Pareto {
+		pareto = paretoIndexSet(rs.FrontierByKernel())
+	}
+	for _, r := range rs.Results {
+		p := r.Point
+		rec := []string{p.Kernel.Name, p.Allocator.Name(), strconv.Itoa(p.EffectiveBudget()), p.Device.Name, p.Sched.Name}
+		if r.Ok() {
+			d := r.Design
+			rec = append(rec,
+				strconv.Itoa(d.Registers), strconv.Itoa(d.Cycles), strconv.Itoa(d.MemCycles),
+				fmt.Sprintf("%.1f", d.ClockNs), fmt.Sprintf("%.1f", d.TimeUs),
+				strconv.Itoa(d.Slices), fmt.Sprintf("%.1f", d.SliceUtil), strconv.Itoa(d.RAMs), "")
+		} else {
+			rec = append(rec, "", "", "", "", "", "", "", "", errString(r))
+		}
+		if c.Pareto {
+			rec = append(rec, mark(pareto[p.Index]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func mark(on bool) string {
+	if on {
+		return "1"
+	}
+	return "0"
+}
+
+// errString renders a failed result's error; a hand-built Result with
+// neither design nor error still gets a stable message instead of a panic.
+func errString(r Result) string {
+	if r.Err != nil {
+		return r.Err.Error()
+	}
+	return "no design"
+}
+
+// JSONReporter writes the result set as one JSON document: the space
+// axes, one record per point, and the per-kernel Pareto frontiers.
+type JSONReporter struct {
+	Indent bool
+}
+
+type jsonDoc struct {
+	Space  jsonSpace      `json:"space"`
+	Points []jsonPoint    `json:"points"`
+	Pareto []jsonFrontier `json:"pareto"`
+}
+
+type jsonSpace struct {
+	Kernels    []string `json:"kernels"`
+	Allocators []string `json:"allocators"`
+	Budgets    []int    `json:"budgets"`
+	Devices    []string `json:"devices"`
+	Scheds     []string `json:"scheds"`
+}
+
+type jsonPoint struct {
+	ID        string       `json:"id"`
+	Kernel    string       `json:"kernel"`
+	Algorithm string       `json:"algorithm"`
+	Rmax      int          `json:"rmax"`
+	Device    string       `json:"device"`
+	Sched     string       `json:"sched"`
+	Metrics   *jsonMetrics `json:"metrics,omitempty"`
+	Error     string       `json:"error,omitempty"`
+}
+
+type jsonMetrics struct {
+	Registers    int     `json:"registers"`
+	Cycles       int     `json:"cycles"`
+	MemCycles    int     `json:"tmem"`
+	ClockNs      float64 `json:"clock_ns"`
+	TimeUs       float64 `json:"time_us"`
+	Slices       int     `json:"slices"`
+	SliceUtilPct float64 `json:"slice_util_pct"`
+	RAMs         int     `json:"brams"`
+}
+
+type jsonFrontier struct {
+	Kernel string   `json:"kernel"`
+	Points []string `json:"points"` // point IDs on the frontier
+}
+
+// Report implements Reporter.
+func (j JSONReporter) Report(w io.Writer, rs *ResultSet) error {
+	doc := jsonDoc{Points: []jsonPoint{}, Pareto: []jsonFrontier{}}
+	for _, k := range rs.Space.Kernels {
+		doc.Space.Kernels = append(doc.Space.Kernels, k.Name)
+	}
+	for _, a := range rs.Space.Allocators {
+		doc.Space.Allocators = append(doc.Space.Allocators, a.Name())
+	}
+	doc.Space.Budgets = rs.Space.Budgets
+	for _, d := range rs.Space.Devices {
+		doc.Space.Devices = append(doc.Space.Devices, d.Name)
+	}
+	for _, s := range rs.Space.Scheds {
+		doc.Space.Scheds = append(doc.Space.Scheds, s.Name)
+	}
+	for _, r := range rs.Results {
+		p := r.Point
+		jp := jsonPoint{
+			ID:        p.ID(),
+			Kernel:    p.Kernel.Name,
+			Algorithm: p.Allocator.Name(),
+			Rmax:      p.EffectiveBudget(),
+			Device:    p.Device.Name,
+			Sched:     p.Sched.Name,
+		}
+		if r.Ok() {
+			d := r.Design
+			jp.Metrics = &jsonMetrics{
+				Registers:    d.Registers,
+				Cycles:       d.Cycles,
+				MemCycles:    d.MemCycles,
+				ClockNs:      d.ClockNs,
+				TimeUs:       d.TimeUs,
+				Slices:       d.Slices,
+				SliceUtilPct: d.SliceUtil,
+				RAMs:         d.RAMs,
+			}
+		} else {
+			jp.Error = errString(r)
+		}
+		doc.Points = append(doc.Points, jp)
+	}
+	for _, kf := range rs.FrontierByKernel() {
+		jf := jsonFrontier{Kernel: kf.Kernel, Points: []string{}}
+		for _, r := range kf.Points {
+			jf.Points = append(jf.Points, r.Point.ID())
+		}
+		doc.Pareto = append(doc.Pareto, jf)
+	}
+	enc := json.NewEncoder(w)
+	if j.Indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(doc)
+}
+
+// TableReporter renders a fixed-width text table, with frontier points
+// starred, for interactive use.
+type TableReporter struct{}
+
+// Report implements Reporter.
+func (TableReporter) Report(w io.Writer, rs *ResultSet) error {
+	fronts := rs.FrontierByKernel()
+	pareto := paretoIndexSet(fronts)
+	if _, err := fmt.Fprintf(w, "%-8s %-8s %5s %-16s %-10s %6s %10s %10s %9s %7s %6s %2s\n",
+		"kernel", "algo", "rmax", "device", "sched", "regs", "cycles", "clock_ns", "time_us", "slices", "brams", "P"); err != nil {
+		return err
+	}
+	for _, r := range rs.Results {
+		p := r.Point
+		if !r.Ok() {
+			if _, err := fmt.Fprintf(w, "%-8s %-8s %5d %-16s %-10s  ERROR: %s\n",
+				p.Kernel.Name, p.Allocator.Name(), p.EffectiveBudget(), p.Device.Name, p.Sched.Name, errString(r)); err != nil {
+				return err
+			}
+			continue
+		}
+		d := r.Design
+		star := ""
+		if pareto[p.Index] {
+			star = "*"
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %-8s %5d %-16s %-10s %6d %10d %10.1f %9.1f %7d %6d %2s\n",
+			p.Kernel.Name, p.Allocator.Name(), p.EffectiveBudget(), p.Device.Name, p.Sched.Name,
+			d.Registers, d.Cycles, d.ClockNs, d.TimeUs, d.Slices, d.RAMs, star); err != nil {
+			return err
+		}
+	}
+	var lines []string
+	for _, kf := range fronts {
+		var ids []string
+		for _, r := range kf.Points {
+			ids = append(ids, fmt.Sprintf("%s/r%d/%s/%s",
+				r.Point.Allocator.Name(), r.Point.EffectiveBudget(), r.Point.Device.Name, r.Point.Sched.Name))
+		}
+		lines = append(lines, fmt.Sprintf("  %-8s %s", kf.Kernel, strings.Join(ids, "  ")))
+	}
+	_, err := fmt.Fprintf(w, "\npareto frontier per kernel (time_us × slices × registers):\n%s\n", strings.Join(lines, "\n"))
+	return err
+}

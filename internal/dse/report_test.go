@@ -1,0 +1,177 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/kernels"
+)
+
+var reportSetOnce struct {
+	sync.Once
+	rs *ResultSet
+}
+
+// reportSet memoizes one exploration shared by all reporter tests: two
+// kernels (two frontiers), with budget 3 infeasible for figure1's five
+// references so error rows are exercised.
+func reportSet(t *testing.T) *ResultSet {
+	t.Helper()
+	reportSetOnce.Do(func() {
+		sp := Space{
+			Kernels:    []kernels.Kernel{kernels.Figure1(), kernels.FIR()},
+			Allocators: []core.Allocator{core.FRRA{}, core.CPARA{}},
+			Budgets:    []int{3, 64},
+			Devices:    []fpga.Device{fpga.XCV1000()},
+		}
+		rs, err := Engine{Workers: 4}.Explore(sp)
+		if err != nil {
+			return
+		}
+		reportSetOnce.rs = rs
+	})
+	if reportSetOnce.rs == nil {
+		t.Fatal("report exploration failed")
+	}
+	return reportSetOnce.rs
+}
+
+func TestCSVReporter(t *testing.T) {
+	rs := reportSet(t)
+	var buf bytes.Buffer
+	if err := (CSVReporter{Pareto: true}).Report(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(recs) != 1+len(rs.Results) {
+		t.Fatalf("got %d CSV records, want header + %d rows", len(recs), len(rs.Results))
+	}
+	header := strings.Join(recs[0], ",")
+	for _, col := range []string{"kernel", "rmax", "device", "sched", "time_us", "error", "pareto"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("header %q missing column %q", header, col)
+		}
+	}
+	var errorRows, paretoRows int
+	for _, rec := range recs[1:] {
+		if rec[len(rec)-2] != "" {
+			errorRows++
+			if rec[5] != "" {
+				t.Errorf("error row carries metrics: %v", rec)
+			}
+		}
+		if rec[len(rec)-1] == "1" {
+			paretoRows++
+		}
+	}
+	if errorRows != len(rs.Failed()) {
+		t.Errorf("%d error rows, want %d", errorRows, len(rs.Failed()))
+	}
+	if paretoRows == 0 {
+		t.Error("no pareto-marked rows")
+	}
+}
+
+func TestCSVReporterWithoutPareto(t *testing.T) {
+	rs := reportSet(t)
+	var buf bytes.Buffer
+	if err := (CSVReporter{}).Report(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := recs[0][len(recs[0])-1]; last != "error" {
+		t.Errorf("last column = %q, want error (no pareto column)", last)
+	}
+}
+
+func TestJSONReporter(t *testing.T) {
+	rs := reportSet(t)
+	var buf bytes.Buffer
+	if err := (JSONReporter{Indent: true}).Report(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Space struct {
+			Kernels    []string `json:"kernels"`
+			Allocators []string `json:"allocators"`
+			Devices    []string `json:"devices"`
+		} `json:"space"`
+		Points []struct {
+			ID      string          `json:"id"`
+			Kernel  string          `json:"kernel"`
+			Metrics json.RawMessage `json:"metrics"`
+			Error   string          `json:"error"`
+		} `json:"points"`
+		Pareto []struct {
+			Kernel string   `json:"kernel"`
+			Points []string `json:"points"`
+		} `json:"pareto"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Points) != len(rs.Results) {
+		t.Fatalf("%d JSON points, want %d", len(doc.Points), len(rs.Results))
+	}
+	if len(doc.Space.Kernels) != 2 || len(doc.Space.Allocators) != 2 || len(doc.Space.Devices) != 1 {
+		t.Errorf("space block wrong: %+v", doc.Space)
+	}
+	var withErr, withMetrics int
+	ids := map[string]bool{}
+	for _, p := range doc.Points {
+		ids[p.ID] = true
+		if p.Error != "" {
+			withErr++
+			if p.Metrics != nil {
+				t.Errorf("point %s has both error and metrics", p.ID)
+			}
+		} else if p.Metrics != nil {
+			withMetrics++
+		}
+	}
+	if withErr != len(rs.Failed()) || withMetrics != len(rs.Ok()) {
+		t.Errorf("error/metrics split %d/%d, want %d/%d", withErr, withMetrics, len(rs.Failed()), len(rs.Ok()))
+	}
+	if len(doc.Pareto) != 2 {
+		t.Fatalf("%d pareto frontiers, want one per kernel", len(doc.Pareto))
+	}
+	for _, f := range doc.Pareto {
+		if len(f.Points) == 0 {
+			t.Errorf("kernel %s has an empty frontier", f.Kernel)
+		}
+		for _, id := range f.Points {
+			if !ids[id] {
+				t.Errorf("frontier references unknown point %s", id)
+			}
+		}
+	}
+}
+
+func TestTableReporter(t *testing.T) {
+	rs := reportSet(t)
+	var buf bytes.Buffer
+	if err := (TableReporter{}).Report(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"kernel", "figure1", "fir", "ERROR", "pareto frontier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < len(rs.Results)+2 {
+		t.Errorf("table has %d lines for %d results", lines, len(rs.Results))
+	}
+}

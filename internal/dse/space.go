@@ -1,0 +1,147 @@
+package dse
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/hls"
+	"repro/internal/kernels"
+	"repro/internal/sched"
+)
+
+// SchedVariant is one named scheduler configuration of the exploration's
+// scheduler axis (RAM latency, RAM port count, latency model).
+type SchedVariant struct {
+	Name   string
+	Config sched.Config
+}
+
+// DefaultSchedVariant returns the single-ported default latency model.
+func DefaultSchedVariant() SchedVariant {
+	return SchedVariant{Name: "default", Config: sched.DefaultConfig()}
+}
+
+// Space declares the axes of a design-space exploration; the design points
+// are the full cross-product. Axes left empty fall back to a singleton
+// default (kernel's own budget, the paper's XCV1000, the default
+// scheduler), so a Space needs only the axes the caller cares about.
+type Space struct {
+	Kernels    []kernels.Kernel
+	Allocators []core.Allocator
+	Budgets    []int // register budgets; 0 = the kernel's own Rmax
+	Devices    []fpga.Device
+	Scheds     []SchedVariant
+}
+
+// DefaultSpace is the full stock exploration: the six Table-1 kernels ×
+// the four allocators × four register budgets × the Virtex and Virtex-II
+// targets under the default scheduler — 192 design points.
+func DefaultSpace() Space {
+	return Space{
+		Kernels:    kernels.All(),
+		Allocators: core.All(),
+		Budgets:    []int{16, 32, 64, 128},
+		Devices:    []fpga.Device{fpga.XCV1000(), fpga.XC2V6000()},
+		Scheds:     []SchedVariant{DefaultSchedVariant()},
+	}
+}
+
+// normalized fills singleton defaults for empty optional axes and
+// validates the required ones.
+func (sp Space) normalized() (Space, error) {
+	if len(sp.Kernels) == 0 {
+		return sp, fmt.Errorf("dse: space has no kernels")
+	}
+	if len(sp.Allocators) == 0 {
+		return sp, fmt.Errorf("dse: space has no allocators")
+	}
+	seen := map[string]bool{}
+	for _, k := range sp.Kernels {
+		if seen[k.Name] {
+			return sp, fmt.Errorf("dse: kernel %q appears twice on the kernel axis", k.Name)
+		}
+		seen[k.Name] = true
+	}
+	if len(sp.Budgets) == 0 {
+		sp.Budgets = []int{0}
+	}
+	for _, b := range sp.Budgets {
+		if b < 0 {
+			return sp, fmt.Errorf("dse: negative register budget %d", b)
+		}
+	}
+	if len(sp.Devices) == 0 {
+		sp.Devices = []fpga.Device{fpga.XCV1000()}
+	}
+	if len(sp.Scheds) == 0 {
+		sp.Scheds = []SchedVariant{DefaultSchedVariant()}
+	}
+	return sp, nil
+}
+
+// Size returns the number of design points of the cross-product. Like
+// Points, it takes the axes as declared: an empty axis yields zero points
+// (normalization is what fills singleton defaults).
+func (sp Space) Size() int {
+	return len(sp.Kernels) * len(sp.Allocators) * len(sp.Budgets) * len(sp.Devices) * len(sp.Scheds)
+}
+
+// Point is one design point: one coordinate along every axis. Index is the
+// point's position in the space's canonical row-major order (kernel
+// outermost, scheduler variant innermost) — results are always reported in
+// this order, whatever the evaluation schedule.
+type Point struct {
+	Index     int
+	Kernel    kernels.Kernel
+	Allocator core.Allocator
+	Budget    int // 0 = the kernel's own Rmax
+	Device    fpga.Device
+	Sched     SchedVariant
+}
+
+// EffectiveBudget resolves the 0-means-kernel-default budget convention.
+func (p Point) EffectiveBudget() int {
+	if p.Budget > 0 {
+		return p.Budget
+	}
+	return p.Kernel.Rmax
+}
+
+// Options assembles the estimator options for this point.
+func (p Point) Options() hls.Options {
+	return hls.Options{Device: p.Device, Sched: p.Sched.Config, Rmax: p.Budget}
+}
+
+// ID renders the point's coordinates as a stable slash-joined identifier,
+// e.g. "fir/CPA-RA/r64/XCV1000-BG560/default".
+func (p Point) ID() string {
+	return fmt.Sprintf("%s/%s/r%d/%s/%s",
+		p.Kernel.Name, p.Allocator.Name(), p.EffectiveBudget(), p.Device.Name, p.Sched.Name)
+}
+
+// Points enumerates the cross-product in canonical row-major order. The
+// space must already be normalized (Explore normalizes; tests may call
+// this on a fully-specified space directly).
+func (sp Space) Points() []Point {
+	pts := make([]Point, 0, sp.Size())
+	for _, k := range sp.Kernels {
+		for _, alg := range sp.Allocators {
+			for _, b := range sp.Budgets {
+				for _, dev := range sp.Devices {
+					for _, sv := range sp.Scheds {
+						pts = append(pts, Point{
+							Index:     len(pts),
+							Kernel:    k,
+							Allocator: alg,
+							Budget:    b,
+							Device:    dev,
+							Sched:     sv,
+						})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}

@@ -55,12 +55,18 @@ func Table1(opt hls.Options) ([]Row, error) {
 	return rows, nil
 }
 
-// KernelRows generates the three version rows for one kernel.
+// KernelRows generates the three version rows for one kernel. The kernel
+// front-end (reuse analysis + DFG) is built once and shared by the three
+// version estimates.
 func KernelRows(k kernels.Kernel, opt hls.Options) ([]Row, error) {
+	an, err := hls.Analyze(k)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	var rows []Row
 	var base *hls.Design
 	for vi, alg := range Versions() {
-		d, err := hls.Estimate(k, alg, opt)
+		d, err := an.Estimate(alg, opt)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s %s: %w", k.Name, alg.Name(), err)
 		}
@@ -230,10 +236,11 @@ type Figure2Alloc struct {
 // Figure2 runs the walk-through with the paper's 64-register budget.
 func Figure2(opt hls.Options) (*Figure2Result, error) {
 	k := kernels.Figure1()
-	g, err := dfg.Build(k.Nest)
+	an, err := hls.Analyze(k)
 	if err != nil {
 		return nil, err
 	}
+	g := an.Graph
 	lat := opt.Sched.Lat.NodeLat(nil)
 	cg, err := g.CriticalGraph(lat)
 	if err != nil {
@@ -252,7 +259,7 @@ func Figure2(opt hls.Options) (*Figure2Result, error) {
 		res.Cuts = append(res.Cuts, c.String())
 	}
 	for _, alg := range Versions() {
-		d, err := hls.Estimate(k, alg, opt)
+		d, err := an.Estimate(alg, opt)
 		if err != nil {
 			return nil, err
 		}

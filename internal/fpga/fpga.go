@@ -12,6 +12,7 @@ package fpga
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/ir"
 )
@@ -24,12 +25,56 @@ type Device struct {
 	BlockRAMBits int
 	// DualPort reports whether block RAMs can be configured dual-ported.
 	DualPort bool
+	// ClockScale scales the achievable clock period relative to the
+	// Virtex-era baseline the model is calibrated against (1.0). Newer
+	// process generations close timing faster: a Virtex-II part runs the
+	// same netlist at a shorter period. Zero means 1.0.
+	ClockScale float64
 }
 
 // XCV1000 returns the paper's target: a Xilinx Virtex XCV1000 BG560 —
 // 12288 slices and 32 dual-portable 4-kbit block RAMs.
 func XCV1000() Device {
 	return Device{Name: "XCV1000-BG560", Slices: 12288, BlockRAMs: 32, BlockRAMBits: 4096, DualPort: true}
+}
+
+// XC2V6000 returns a paper-era Virtex-II class part: 33792 slices and 144
+// dual-portable 18-kbit block RAMs on a 0.15µm process that closes timing
+// roughly a third faster than the Virtex baseline.
+func XC2V6000() Device {
+	return Device{Name: "XC2V6000-FF1152", Slices: 33792, BlockRAMs: 144, BlockRAMBits: 18432, DualPort: true, ClockScale: 0.65}
+}
+
+// XC2V1000 returns a small Virtex-II part — 5120 slices, 40 dual-portable
+// 18-kbit block RAMs — useful as a capacity-constrained exploration target
+// (large design points legitimately fail to fit).
+func XC2V1000() Device {
+	return Device{Name: "XC2V1000-FG456", Slices: 5120, BlockRAMs: 40, BlockRAMBits: 18432, DualPort: true, ClockScale: 0.65}
+}
+
+// Devices returns the built-in presets, the paper's target first.
+func Devices() []Device {
+	return []Device{XCV1000(), XC2V6000(), XC2V1000()}
+}
+
+// ByName resolves a device preset by its full name or its family prefix
+// (e.g. "XCV1000" for "XCV1000-BG560"), case-insensitively.
+func ByName(name string) (Device, error) {
+	for _, d := range Devices() {
+		if strings.EqualFold(d.Name, name) {
+			return d, nil
+		}
+	}
+	for _, d := range Devices() {
+		if prefix, _, ok := strings.Cut(d.Name, "-"); ok && strings.EqualFold(prefix, name) {
+			return d, nil
+		}
+	}
+	var names []string
+	for _, d := range Devices() {
+		names = append(names, d.Name)
+	}
+	return Device{}, fmt.Errorf("fpga: unknown device %q (have %s)", name, strings.Join(names, ", "))
 }
 
 // DesignStats summarizes one hardware design for the area/clock models.
@@ -109,6 +154,9 @@ func (d Device) ClockNs(s DesignStats) float64 {
 	period += stage
 	period += 0.06 * float64(s.Registers)
 	period += 2.0 * math.Log2(float64(1+s.Classes))
+	if d.ClockScale > 0 {
+		period *= d.ClockScale
+	}
 	return math.Round(period*10) / 10
 }
 

@@ -145,3 +145,53 @@ func TestUtilization(t *testing.T) {
 		t.Fatalf("utilization %.2f%% out of range", u)
 	}
 }
+
+func TestDevicePresets(t *testing.T) {
+	ds := Devices()
+	if len(ds) < 2 {
+		t.Fatalf("Devices() = %d presets, want ≥2", len(ds))
+	}
+	if ds[0].Name != XCV1000().Name {
+		t.Fatalf("Devices()[0] = %s, want the paper's XCV1000 first", ds[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if seen[d.Name] {
+			t.Fatalf("duplicate device preset %s", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Slices <= 0 || d.BlockRAMs <= 0 || d.BlockRAMBits <= 0 {
+			t.Fatalf("preset %s has a non-positive capacity: %+v", d.Name, d)
+		}
+	}
+	v2 := XC2V6000()
+	if v2.Slices <= XCV1000().Slices || v2.BlockRAMBits <= XCV1000().BlockRAMBits {
+		t.Fatalf("XC2V6000 should be strictly larger than XCV1000: %+v", v2)
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	for _, name := range []string{"XCV1000-BG560", "XCV1000", "xcv1000", "XC2V6000", "xc2v1000-fg456"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("XC9999"); err == nil {
+		t.Error("ByName accepted an unknown device")
+	}
+}
+
+func TestClockScaleSpeedsVirtexII(t *testing.T) {
+	s := sampleStats()
+	v1 := XCV1000().ClockNs(s)
+	v2 := XC2V6000().ClockNs(s)
+	if v2 >= v1 {
+		t.Fatalf("Virtex-II clock %v ns not faster than Virtex %v ns", v2, v1)
+	}
+	// The zero value keeps the calibrated baseline.
+	var d Device
+	d.Slices = 1
+	if got := d.ClockNs(s); got != v1 {
+		t.Fatalf("zero ClockScale changed the baseline clock: %v vs %v", got, v1)
+	}
+}

@@ -9,9 +9,11 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dfg"
 	"repro/internal/fpga"
 	"repro/internal/ir"
 	"repro/internal/kernels"
+	"repro/internal/reuse"
 	"repro/internal/scalarrepl"
 	"repro/internal/sched"
 )
@@ -51,14 +53,52 @@ type Design struct {
 	seedStats fpga.DesignStats
 }
 
+// Analysis is the memoized front-end of the estimator: the reuse summary
+// and body data-flow graph of one kernel. Both structures are read-only
+// after construction, so one Analysis can back any number of design-point
+// estimates — across budgets, devices, latency models and allocators, and
+// from concurrent goroutines — without re-running the analysis that
+// Estimate would otherwise rebuild per point.
+type Analysis struct {
+	Kernel kernels.Kernel
+	Infos  []*reuse.Info
+	Graph  *dfg.Graph
+}
+
+// Analyze runs the kernel front-end once: reuse analysis + DFG build.
+func Analyze(k kernels.Kernel) (*Analysis, error) {
+	infos, err := reuse.Analyze(k.Nest)
+	if err != nil {
+		return nil, fmt.Errorf("hls: %s: %w", k.Name, err)
+	}
+	g, err := dfg.Build(k.Nest)
+	if err != nil {
+		return nil, fmt.Errorf("hls: %s: %w", k.Name, err)
+	}
+	return &Analysis{Kernel: k, Infos: infos, Graph: g}, nil
+}
+
 // Estimate runs the full pipeline: reuse analysis → allocation → storage
-// plan → cycle simulation → area/clock models.
+// plan → cycle simulation → area/clock models. Callers evaluating many
+// design points of one kernel should Analyze once and use
+// Analysis.Estimate instead, which skips the front-end.
 func Estimate(k kernels.Kernel, alg core.Allocator, opt Options) (*Design, error) {
+	a, err := Analyze(k)
+	if err != nil {
+		return nil, err
+	}
+	return a.Estimate(alg, opt)
+}
+
+// Estimate evaluates one design point on the cached front-end. It is safe
+// to call concurrently from multiple goroutines.
+func (an *Analysis) Estimate(alg core.Allocator, opt Options) (*Design, error) {
+	k := an.Kernel
 	rmax := k.Rmax
 	if opt.Rmax > 0 {
 		rmax = opt.Rmax
 	}
-	prob, err := core.NewProblem(k.Nest, rmax, opt.Sched.Lat)
+	prob, err := core.NewProblemFrom(k.Nest, an.Infos, an.Graph, rmax, opt.Sched.Lat)
 	if err != nil {
 		return nil, fmt.Errorf("hls: %s: %w", k.Name, err)
 	}
