@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deps"
 	"repro/internal/dfg"
+	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/hls"
 	"repro/internal/ir"
@@ -182,6 +183,64 @@ func BenchmarkAllocatorOnly(b *testing.B) {
 				if _, err := alg.Allocate(prob); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulate measures the fused single-pass cycle simulator on every
+// Table-1 kernel under its CPA-RA plan, with allocation counts: the per-
+// iteration work is the DSE hot path, so allocs/op here is the number that
+// has to stay flat as kernels grow.
+func BenchmarkSimulate(b *testing.B) {
+	for _, k := range kernels.All() {
+		prob, err := core.NewProblem(k.Nest, k.Rmax, dfg.DefaultLatencies())
+		if err != nil {
+			b.Fatal(err)
+		}
+		alloc, err := (core.CPARA{}).Allocate(prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.SimulateGraph(k.Nest, prob.Graph, plan, sched.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExplore measures the full stock design-space sweep (DefaultSpace,
+// 192 points) through the concurrent engine, with and without the
+// cross-point simulation cache; the gap between the two is the redundant
+// simulation work the cache removes.
+func BenchmarkExplore(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		nocache bool
+	}{{"cached", false}, {"nocache", true}} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sims int
+			for i := 0; i < b.N; i++ {
+				rs, err := dse.Engine{NoSimCache: bench.nocache}.Explore(dse.DefaultSpace())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := len(rs.Failed()); n > 0 {
+					b.Fatalf("%d points failed", n)
+				}
+				sims = rs.UniqueSims
+			}
+			if !bench.nocache {
+				b.ReportMetric(float64(sims), "unique_sims")
 			}
 		})
 	}

@@ -39,15 +39,16 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		format     = flag.String("format", "table", "output format: table, csv or json")
 		strict     = flag.Bool("strict", false, "exit non-zero when any design point fails")
+		nocache    = flag.Bool("nocache", false, "disable the cross-point simulation cache (diagnostic; output is byte-identical either way)")
 	)
 	flag.Parse()
-	if err := run(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList, *workers, *format, *strict); err != nil {
+	if err := run(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList, *workers, *format, *strict, *nocache); err != nil {
 		fmt.Fprintln(os.Stderr, "dse:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string, workers int, format string, strict bool) error {
+func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string, workers int, format string, strict, nocache bool) error {
 	sp, err := buildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList)
 	if err != nil {
 		return err
@@ -64,12 +65,16 @@ func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList st
 		return fmt.Errorf("unknown format %q (want table, csv or json)", format)
 	}
 	start := time.Now()
-	rs, err := dse.Engine{Workers: workers}.Explore(sp)
+	rs, err := dse.Engine{Workers: workers, NoSimCache: nocache}.Explore(sp)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "dse: %d points in %v (%d failed)\n",
-		len(rs.Results), time.Since(start).Round(time.Millisecond), len(rs.Failed()))
+	sims := "cache off"
+	if !nocache {
+		sims = fmt.Sprintf("%d unique simulations", rs.UniqueSims)
+	}
+	fmt.Fprintf(os.Stderr, "dse: %d points in %v (%d failed, %s)\n",
+		len(rs.Results), time.Since(start).Round(time.Millisecond), len(rs.Failed()), sims)
 	if err := rep.Report(os.Stdout, rs); err != nil {
 		return err
 	}

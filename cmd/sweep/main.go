@@ -2,7 +2,8 @@
 // for plotting: register budget, RAM latency and RAM port count, for every
 // kernel × allocator combination. Each axis is a thin wrapper over the
 // internal/dse exploration engine, so points are evaluated concurrently
-// (-workers) with the per-kernel front-end analysis shared across points;
+// (-workers) with the per-kernel front-end analysis shared across points
+// and the cross-point simulation cache deduplicating identical schedules;
 // the row order and bytes are identical whatever the worker count.
 //
 // Usage:
@@ -82,6 +83,7 @@ func run(axis, values, kernel string, workers int) error {
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "sweep: %d points, %d unique simulations\n", len(rs.Results), rs.UniqueSims)
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	if err := w.Write([]string{"kernel", "algorithm", axis, "registers", "cycles", "tmem", "clock_ns", "time_us", "slices", "brams"}); err != nil {
@@ -93,9 +95,17 @@ func run(axis, values, kernel string, workers int) error {
 	var errs []error
 	for _, r := range rs.Results {
 		p := r.Point
-		// The swept axis is the innermost populated one either way, so
-		// consecutive points cycle through vals in order.
-		v := vals[p.Index%len(vals)]
+		// Read the swept value off the point itself rather than inferring
+		// it from the index order of the engine's axis nesting.
+		var v int
+		switch axis {
+		case "rmax":
+			v = p.Budget
+		case "memlat":
+			v = p.Sched.Config.Lat.Mem
+		default: // ports
+			v = p.Sched.Config.PortsPerRAM
+		}
 		if !r.Ok() {
 			errs = append(errs, fmt.Errorf("%s/%s %s=%d: %w", p.Kernel.Name, p.Allocator.Name(), axis, v, r.Err))
 			continue

@@ -530,3 +530,23 @@ func TestAliasReadNotReusedAcrossWrite(t *testing.T) {
 		t.Fatalf("x[i+2] read across an aliasing write must split into 2 nodes, got %d\n%s", count, g)
 	}
 }
+
+// TestLatenciesFingerprint pins the schedule-cache key: equal models share
+// a fingerprint, and every model component breaks it.
+func TestLatenciesFingerprint(t *testing.T) {
+	base := DefaultLatencies()
+	if base.Fingerprint() != DefaultLatencies().Fingerprint() {
+		t.Error("equal models produced different fingerprints")
+	}
+	mem := DefaultLatencies()
+	mem.Mem = 4
+	def := DefaultLatencies()
+	def.DefaultOp = 2
+	op := DefaultLatencies()
+	op.Op[ir.OpDiv] = 16
+	for _, l := range []Latencies{mem, def, op} {
+		if l.Fingerprint() == base.Fingerprint() {
+			t.Errorf("model change not reflected in fingerprint %s", base.Fingerprint())
+		}
+	}
+}

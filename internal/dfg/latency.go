@@ -1,6 +1,12 @@
 package dfg
 
-import "repro/internal/ir"
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
 
 // Latencies is the operator/memory latency model shared by the allocators
 // and the cycle-level scheduler. The paper's abstraction assigns a memory
@@ -28,6 +34,25 @@ func DefaultLatencies() Latencies {
 		},
 		DefaultOp: 1,
 	}
+}
+
+// Fingerprint returns a canonical string identifying the latency model:
+// the RAM latency, the default operator latency and every explicit operator
+// override in sorted kind order. Two Latencies with equal fingerprints
+// assign identical latencies to every node, so schedule caches can key on
+// it.
+func (l Latencies) Fingerprint() string {
+	kinds := make([]int, 0, len(l.Op))
+	for k := range l.Op {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "mem%d,def%d", l.Mem, l.DefaultOp)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, ",op%d=%d", k, l.Op[ir.OpKind(k)])
+	}
+	return b.String()
 }
 
 // OpLat returns the latency of one operator.

@@ -1,0 +1,86 @@
+package dse
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dfg"
+	"repro/internal/ir"
+	"repro/internal/scalarrepl"
+	"repro/internal/sched"
+)
+
+// simCache memoizes cycle simulations across the design points of one
+// exploration. Distinct points frequently converge to identical storage
+// plans — saturated budgets collapse onto the kernel's full allocation,
+// different allocators agree on small kernels, and every device on the
+// device axis shares the schedule outright (the device only affects the
+// area/clock models) — so the sweep pays for far fewer simulations than it
+// has points. The key pins everything the simulation reads: the kernel, the
+// plan's β/coverage fingerprint, the latency model and the RAM port count.
+//
+// The cache is concurrency-safe and single-flight: the first goroutine to
+// claim a key runs the simulation, concurrent claimants block on the entry's
+// once and share the resulting *sched.Result read-only.
+type simCache struct {
+	mu sync.Mutex
+	m  map[simKey]*simEntry
+}
+
+type simKey struct {
+	kernel string
+	plan   string
+	lat    string
+	ports  int
+}
+
+type simEntry struct {
+	once sync.Once
+	res  *sched.Result
+	err  error
+}
+
+func newSimCache() *simCache { return &simCache{m: map[simKey]*simEntry{}} }
+
+// simulate implements hls.SimFunc.
+func (c *simCache) simulate(kernel string, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (*sched.Result, error) {
+	key := simKey{kernel: kernel, plan: plan.Fingerprint(), lat: cfg.Lat.Fingerprint(), ports: cfg.PortsPerRAM}
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &simEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		// A panic would consume the Once and leave (nil, nil) for every
+		// later claimant of the key; record it as the entry's error so all
+		// sharers see the real cause.
+		defer func() {
+			if v := recover(); v != nil {
+				e.err = fmt.Errorf("simulation panic: %v", v)
+			}
+		}()
+		e.res, e.err = sched.SimulateGraph(nest, g, plan, cfg)
+	})
+	return e.res, e.err
+}
+
+// simDirect is the cache-free hls.SimFunc: it wraps a simulation panic in
+// the same error the cache records, so NoSimCache output stays
+// byte-identical to the cached engine on every path, including failures.
+func simDirect(_ string, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (res *sched.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, fmt.Errorf("simulation panic: %v", v)
+		}
+	}()
+	return sched.SimulateGraph(nest, g, plan, cfg)
+}
+
+// size returns the number of distinct simulations run so far.
+func (c *simCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,55 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/scalarrepl"
+	"repro/internal/sched"
+)
+
+// TestSimCachePanicDoesNotPoisonEntry: a simulation panic must be memoized
+// as the entry's error, not consume the sync.Once and hand (nil, nil) to
+// every later point sharing the key.
+func TestSimCachePanicDoesNotPoisonEntry(t *testing.T) {
+	k := kernels.Figure1()
+	prob, err := core.NewProblem(k.Nest, k.Rmax, dfg.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := (core.CPARA{}).Allocate(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate against a nest whose innermost loop outruns the plan's
+	// precomputed residency window: HitInner fails loudly (panics). The
+	// graph comes from the valid nest — the walker panics before it is read.
+	wider := *k.Nest
+	wider.Loops = append([]ir.Loop(nil), k.Nest.Loops...)
+	wider.Loops[len(wider.Loops)-1].Hi++
+	g, err := dfg.Build(k.Nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newSimCache()
+	for call := 0; call < 2; call++ {
+		res, err := c.simulate(k.Name, &wider, g, plan, sched.DefaultConfig())
+		if res != nil || err == nil {
+			t.Fatalf("call %d: res=%v err=%v, want nil result and memoized panic error", call, res, err)
+		}
+		if !strings.Contains(err.Error(), "panic") {
+			t.Fatalf("call %d: error %q does not record the panic", call, err)
+		}
+	}
+	if c.size() != 1 {
+		t.Errorf("cache holds %d entries, want the single poisoned-key entry", c.size())
+	}
+}

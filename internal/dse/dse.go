@@ -11,6 +11,12 @@
 // allocators and S scheduler variants, the front-end runs once instead of
 // A·B·D·S times per kernel.
 //
+// The back-end is deduplicated too: a concurrency-safe simulation cache
+// keyed by (kernel, plan fingerprint, latency model, RAM ports) shares one
+// cycle simulation among every design point whose allocator converged to
+// the same β vector — saturated budgets, agreeing allocators, and the
+// entire device axis (devices only affect the area/clock models).
+//
 // Results are stored by point index, so the output is byte-identical
 // whatever the worker count or completion order; per-point estimation
 // failures (infeasible budget, device capacity) are recorded in the result
@@ -41,6 +47,11 @@ func (r Result) Ok() bool { return r.Err == nil && r.Design != nil }
 type ResultSet struct {
 	Space   Space // normalized: every axis populated
 	Results []Result
+	// UniqueSims is the number of distinct cycle simulations the
+	// exploration ran (0 when the simulation cache was disabled). The gap
+	// to len(Results) is the work the cross-point cache deduplicated; the
+	// count depends only on the space, never on worker scheduling.
+	UniqueSims int
 }
 
 // Ok returns the successful results, in point order.
@@ -79,6 +90,10 @@ func (rs *ResultSet) FirstErr() error {
 type Engine struct {
 	// Workers is the pool size; ≤0 uses GOMAXPROCS.
 	Workers int
+	// NoSimCache disables the cross-point simulation cache (diagnostic;
+	// results are byte-identical either way, the cache only removes
+	// redundant work).
+	NoSimCache bool
 }
 
 func (e Engine) workers() int {
@@ -103,6 +118,12 @@ func (e Engine) Explore(sp Space) (*ResultSet, error) {
 	}
 	pts := sp.Points()
 	results := make([]Result, len(pts))
+	sim := hls.SimFunc(simDirect)
+	var cache *simCache
+	if !e.NoSimCache {
+		cache = newSimCache()
+		sim = cache.simulate
+	}
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < e.workers(); w++ {
@@ -110,9 +131,7 @@ func (e Engine) Explore(sp Space) (*ResultSet, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				p := pts[i]
-				d, err := analyses[p.Kernel.Name].Estimate(p.Allocator, p.Options())
-				results[i] = Result{Point: p, Design: d, Err: err}
+				results[i] = evaluate(analyses[pts[i].Kernel.Name], pts[i], sim)
 			}
 		}()
 	}
@@ -121,7 +140,25 @@ func (e Engine) Explore(sp Space) (*ResultSet, error) {
 	}
 	close(idx)
 	wg.Wait()
-	return &ResultSet{Space: sp, Results: results}, nil
+	rs := &ResultSet{Space: sp, Results: results}
+	if cache != nil {
+		rs.UniqueSims = cache.size()
+	}
+	return rs, nil
+}
+
+// evaluate estimates one design point, converting an estimator panic into
+// the point's error. Without the recover, a panicking allocator would kill
+// its worker goroutine with the index channel undrained, blocking the
+// producer send and deadlocking Explore's wg.Wait forever.
+func evaluate(an *hls.Analysis, p Point, sim hls.SimFunc) (res Result) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = Result{Point: p, Err: fmt.Errorf("estimator panic: %v", v)}
+		}
+	}()
+	d, err := an.EstimateSim(p.Allocator, p.Options(), sim)
+	return Result{Point: p, Design: d, Err: err}
 }
 
 // analyzeKernels builds the memoized front-end of every kernel on the

@@ -2,7 +2,9 @@ package dse
 
 import (
 	"bytes"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fpga"
@@ -148,6 +150,99 @@ func TestExploreDeterministicAcrossWorkers(t *testing.T) {
 		if tN != t1 {
 			t.Errorf("table output differs between 1 and %d workers", workers)
 		}
+	}
+}
+
+// panicAllocator panics on a chosen kernel to exercise worker recovery.
+type panicAllocator struct{ kernel string }
+
+func (panicAllocator) Name() string { return "PANIC-RA" }
+
+func (a panicAllocator) Allocate(p *core.Problem) (*core.Allocation, error) {
+	if p.Nest.Name == a.kernel || a.kernel == "" {
+		panic("injected allocator panic")
+	}
+	return core.FRRA{}.Allocate(p)
+}
+
+// TestExploreSurvivesEstimatorPanic guards against the worker-pool
+// deadlock: a panicking estimator used to kill its worker goroutine, leaving
+// the index channel undrained so the producer blocked and wg.Wait never
+// returned. The panic must instead surface as the point's error, with every
+// other point still evaluated.
+func TestExploreSurvivesEstimatorPanic(t *testing.T) {
+	sp := Space{
+		Kernels:    []kernels.Kernel{kernels.Figure1(), kernels.FIR()},
+		Allocators: []core.Allocator{panicAllocator{kernel: "fir"}, core.CPARA{}},
+		Budgets:    []int{32, 64},
+	}
+	done := make(chan *ResultSet, 1)
+	go func() {
+		// Fewer workers than panicking points: without recovery the pool
+		// drains completely and Explore hangs.
+		rs := mustExplore(t, Engine{Workers: 1}, sp)
+		done <- rs
+	}()
+	var rs *ResultSet
+	select {
+	case rs = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Explore deadlocked on a panicking estimator")
+	}
+	if len(rs.Results) != 8 {
+		t.Fatalf("got %d results", len(rs.Results))
+	}
+	for _, r := range rs.Results {
+		panics := r.Point.Allocator.Name() == "PANIC-RA" && r.Point.Kernel.Name == "fir"
+		switch {
+		case panics && r.Ok():
+			t.Errorf("%s: panicking point succeeded", r.Point.ID())
+		case panics && !strings.Contains(r.Err.Error(), "estimator panic"):
+			t.Errorf("%s: error %q does not record the panic", r.Point.ID(), r.Err)
+		case !panics && !r.Ok():
+			t.Errorf("%s: unexpected failure: %v", r.Point.ID(), r.Err)
+		}
+	}
+}
+
+// TestSimCacheByteIdenticalAndDeduplicates pins the cache contract: every
+// reporter's bytes match the cache-disabled engine exactly, and the sweep
+// runs strictly fewer simulations than it has points (the device axis alone
+// guarantees sharing).
+func TestSimCacheByteIdenticalAndDeduplicates(t *testing.T) {
+	sp := smallSpace()
+	render := func(e Engine) [3]string {
+		rs := mustExplore(t, e, sp)
+		var c, j, tb bytes.Buffer
+		if err := (CSVReporter{Pareto: true}).Report(&c, rs); err != nil {
+			t.Fatal(err)
+		}
+		if err := (JSONReporter{Indent: true}).Report(&j, rs); err != nil {
+			t.Fatal(err)
+		}
+		if err := (TableReporter{}).Report(&tb, rs); err != nil {
+			t.Fatal(err)
+		}
+		return [3]string{c.String(), j.String(), tb.String()}
+	}
+	cached := render(Engine{Workers: 8})
+	uncached := render(Engine{Workers: 1, NoSimCache: true})
+	for i, name := range []string{"CSV", "JSON", "table"} {
+		if cached[i] != uncached[i] {
+			t.Errorf("%s output differs between cached and uncached engines", name)
+		}
+	}
+
+	rs := mustExplore(t, Engine{Workers: 4}, sp)
+	if rs.UniqueSims == 0 || rs.UniqueSims >= len(rs.Results) {
+		t.Errorf("UniqueSims = %d for %d points, want 0 < sims < points", rs.UniqueSims, len(rs.Results))
+	}
+	if nc := mustExplore(t, Engine{Workers: 4, NoSimCache: true}, sp); nc.UniqueSims != 0 {
+		t.Errorf("NoSimCache engine reported UniqueSims = %d, want 0", nc.UniqueSims)
+	}
+	// The simulation count is part of the determinism contract.
+	if again := mustExplore(t, Engine{Workers: 2}, sp); again.UniqueSims != rs.UniqueSims {
+		t.Errorf("UniqueSims varies with worker count: %d vs %d", again.UniqueSims, rs.UniqueSims)
 	}
 }
 

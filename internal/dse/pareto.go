@@ -1,6 +1,11 @@
 package dse
 
-import "repro/internal/hls"
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/hls"
+)
 
 // The Pareto objectives, all minimized: wall-clock execution time, slice
 // area, and register count. A design dominates another when it is no worse
@@ -16,20 +21,88 @@ func dominates(a, b *hls.Design) bool {
 // (time, slices, registers), preserving point order. Failed results are
 // never on the frontier and never dominate. Results with identical
 // objective values are mutually non-dominating, so ties are all kept.
+//
+// The extraction is a sort-based skyline sweep, O(n log n) instead of the
+// all-pairs O(n²) scan: points are visited in lexicographic objective
+// order, so any dominator of a point has already been seen, and a Fenwick
+// prefix-minimum over (slices → registers) answers "does a seen point
+// dominate this one" in O(log n). Groups of identical objective triples
+// are decided together, before self-insertion, which preserves the
+// keep-all-ties semantics.
 func Frontier(results []Result) []Result {
-	var frontier []Result
-	for _, r := range results {
-		if !r.Ok() {
-			continue
+	type cand struct {
+		timeUs       float64
+		slices, regs int
+		pos          int // index into results
+	}
+	var cands []cand
+	for i, r := range results {
+		if r.Ok() {
+			d := r.Design
+			cands = append(cands, cand{timeUs: d.TimeUs, slices: d.Slices, regs: d.Registers, pos: i})
 		}
-		dominated := false
-		for _, o := range results {
-			if o.Ok() && dominates(o.Design, r.Design) {
-				dominated = true
-				break
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.timeUs != b.timeUs {
+			return a.timeUs < b.timeUs
+		}
+		if a.slices != b.slices {
+			return a.slices < b.slices
+		}
+		return a.regs < b.regs
+	})
+	// 2D dominance oracle over the points seen so far: a Fenwick tree over
+	// coordinate-compressed slice counts holding the minimum register count
+	// per prefix. Every seen point precedes the current one
+	// lexicographically, so a seen point with slices ≤ s and regs ≤ g is
+	// strictly better on at least one objective — it dominates.
+	xs := make([]int, 0, len(cands))
+	for _, c := range cands {
+		xs = append(xs, c.slices)
+	}
+	sort.Ints(xs)
+	xs = slices.Compact(xs)
+	const inf = int(^uint(0) >> 1)
+	fen := make([]int, len(xs)+1)
+	for i := range fen {
+		fen[i] = inf
+	}
+	// minRegsUpTo returns the minimum regs among seen points whose slices
+	// rank ≤ i (1-based Fenwick prefix).
+	minRegsUpTo := func(i int) int {
+		m := inf
+		for ; i > 0; i -= i & -i {
+			m = min(m, fen[i])
+		}
+		return m
+	}
+	dominated := func(s, g int) bool {
+		return minRegsUpTo(sort.SearchInts(xs, s+1)) <= g
+	}
+	insert := func(s, g int) {
+		for i := sort.SearchInts(xs, s) + 1; i <= len(xs); i += i & -i {
+			fen[i] = min(fen[i], g)
+		}
+	}
+	keep := map[int]bool{}
+	for i := 0; i < len(cands); {
+		j := i
+		for j < len(cands) && cands[j].timeUs == cands[i].timeUs &&
+			cands[j].slices == cands[i].slices && cands[j].regs == cands[i].regs {
+			j++
+		}
+		if !dominated(cands[i].slices, cands[i].regs) {
+			for k := i; k < j; k++ {
+				keep[cands[k].pos] = true
 			}
 		}
-		if !dominated {
+		insert(cands[i].slices, cands[i].regs)
+		i = j
+	}
+	var frontier []Result
+	for i, r := range results {
+		if keep[i] {
 			frontier = append(frontier, r)
 		}
 	}

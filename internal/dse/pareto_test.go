@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -74,6 +75,60 @@ func TestFrontierSkipsFailures(t *testing.T) {
 }
 
 var errFake = fpga.Device{}.Fit(fpga.DesignStats{Registers: 1 << 20, RegisterBits: 1 << 24})
+
+// naiveFrontier is the seed all-pairs O(n²) extraction, kept as the oracle
+// for the sort-based skyline sweep.
+func naiveFrontier(results []Result) []Result {
+	var frontier []Result
+	for _, r := range results {
+		if !r.Ok() {
+			continue
+		}
+		dominated := false
+		for _, o := range results {
+			if o.Ok() && dominates(o.Design, r.Design) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, r)
+		}
+	}
+	return frontier
+}
+
+// TestFrontierMatchesNaiveOnRandomSets differentials the skyline sweep
+// against the all-pairs oracle on random objective sets dense with ties and
+// duplicate coordinates.
+func TestFrontierMatchesNaiveOnRandomSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		results := make([]Result, n)
+		for i := range results {
+			// Small value ranges force coordinate collisions and full-triple
+			// ties; a sprinkling of failures checks the skip path.
+			results[i] = fakeResult(i, "k", float64(rng.Intn(6)), rng.Intn(6), rng.Intn(6))
+			if rng.Intn(8) == 0 {
+				results[i] = Result{Point: Point{Index: i}, Err: errFake}
+			}
+		}
+		want := frontierIndicesOf(naiveFrontier(results))
+		got := frontierIndices(results)
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d: skyline %v != naive %v", trial, got, want)
+		}
+	}
+}
+
+func frontierIndicesOf(results []Result) []int {
+	var idx []int
+	for _, r := range results {
+		idx = append(idx, r.Point.Index)
+	}
+	return idx
+}
 
 func TestFrontierByKernelGroups(t *testing.T) {
 	// A point that would dominate across kernels must not: frontiers are

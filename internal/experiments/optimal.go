@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/dfg"
 	"repro/internal/ir"
 	"repro/internal/reuse"
 	"repro/internal/scalarrepl"
@@ -24,6 +25,11 @@ type GridPoint struct {
 // measures how much is left on the table.
 func TmemOptimum(nest *ir.Nest, rmax int, candidates map[string][]int, cfg sched.Config) (*GridPoint, int, error) {
 	infos, err := reuse.Analyze(nest)
+	if err != nil {
+		return nil, 0, err
+	}
+	// One DFG serves every grid point; only the plan changes.
+	g, err := dfg.Build(nest)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -55,7 +61,7 @@ func TmemOptimum(nest *ir.Nest, rmax int, candidates map[string][]int, cfg sched
 			if err != nil {
 				return err
 			}
-			res, err := sched.Simulate(nest, plan, cfg)
+			res, err := sched.SimulateGraph(nest, g, plan, cfg)
 			if err != nil {
 				return err
 			}

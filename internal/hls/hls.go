@@ -38,7 +38,9 @@ type Design struct {
 	Algorithm  string
 	Allocation *core.Allocation
 	Plan       *scalarrepl.Plan
-	Sim        *sched.Result
+	// Sim is read-only after construction and may be shared with other
+	// Designs when a sweep's simulation cache deduplicated the point.
+	Sim *sched.Result
 
 	Registers int     // Σβ
 	Cycles    int     // total execution cycles (loop + transfers)
@@ -90,9 +92,26 @@ func Estimate(k kernels.Kernel, alg core.Allocator, opt Options) (*Design, error
 	return a.Estimate(alg, opt)
 }
 
+// SimFunc runs one cycle simulation on a prebuilt front-end. Sweep engines
+// interpose a cross-design-point cache here (see internal/dse): many points
+// converge to identical plans and can share one simulation.
+type SimFunc func(kernel string, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (*sched.Result, error)
+
 // Estimate evaluates one design point on the cached front-end. It is safe
 // to call concurrently from multiple goroutines.
 func (an *Analysis) Estimate(alg core.Allocator, opt Options) (*Design, error) {
+	return an.EstimateSim(alg, opt, nil)
+}
+
+// EstimateSim is Estimate with a pluggable simulation step: sim, when
+// non-nil, replaces (or memoizes) sched.SimulateGraph. The memoized body
+// DFG is threaded through in either case, so no design point rebuilds it.
+func (an *Analysis) EstimateSim(alg core.Allocator, opt Options, sim SimFunc) (*Design, error) {
+	if sim == nil {
+		sim = func(_ string, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (*sched.Result, error) {
+			return sched.SimulateGraph(nest, g, plan, cfg)
+		}
+	}
 	k := an.Kernel
 	rmax := k.Rmax
 	if opt.Rmax > 0 {
@@ -110,11 +129,11 @@ func (an *Analysis) Estimate(alg core.Allocator, opt Options) (*Design, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hls: %s/%s: %w", k.Name, alg.Name(), err)
 	}
-	sim, err := sched.Simulate(k.Nest, plan, opt.Sched)
+	res, err := sim(k.Name, k.Nest, an.Graph, plan, opt.Sched)
 	if err != nil {
 		return nil, fmt.Errorf("hls: %s/%s: %w", k.Name, alg.Name(), err)
 	}
-	stats := designStats(k.Nest, prob, alloc, sim)
+	stats := designStats(k.Nest, prob, alloc, res)
 	if err := opt.Device.Fit(stats); err != nil {
 		return nil, fmt.Errorf("hls: %s/%s: %w", k.Name, alg.Name(), err)
 	}
@@ -123,10 +142,10 @@ func (an *Analysis) Estimate(alg core.Allocator, opt Options) (*Design, error) {
 		Algorithm:  alg.Name(),
 		Allocation: alloc,
 		Plan:       plan,
-		Sim:        sim,
+		Sim:        res,
 		Registers:  alloc.Total(),
-		Cycles:     sim.TotalCycles,
-		MemCycles:  sim.MemCycles,
+		Cycles:     res.TotalCycles,
+		MemCycles:  res.MemCycles,
 		ClockNs:    opt.Device.ClockNs(stats),
 		Slices:     opt.Device.SlicesFor(stats),
 		SliceUtil:  opt.Device.Utilization(stats),

@@ -25,6 +25,7 @@ package scalarrepl
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/ir"
 	"repro/internal/reuse"
@@ -198,6 +199,23 @@ func (e *Entry) Hit(env map[string]int) bool {
 	return e.Coverage > 0 && e.WindowOrdinal(env) < e.Coverage
 }
 
+// HitInner reports whether the access hits registers when the innermost
+// loop variable has value v. The window-relative element identity — and so
+// the hit/miss outcome — depends only on the innermost position (relFlat
+// forces every outer loop to its lower bound), which lets iteration-space
+// walkers classify an iteration from its innermost index alone, without
+// building an environment.
+func (e *Entry) HitInner(v int) bool {
+	if e.Coverage == 0 {
+		return false
+	}
+	o, ok := e.ordinal[e.relConst+e.innerCoef*v]
+	if !ok {
+		panic(fmt.Sprintf("scalarrepl: %s: innermost value %d outside precomputed window", e.Info.Key(), v))
+	}
+	return o < e.Coverage
+}
+
 // FullyReplaced reports whether every access of the reference hits.
 func (e *Entry) FullyReplaced() bool {
 	return e.Coverage > 0 && e.Coverage >= len(e.ordinal)
@@ -263,6 +281,22 @@ func (p *Plan) HitKeys(env map[string]int) string {
 		}
 	}
 	return string(sig)
+}
+
+// Fingerprint returns a canonical string identifying the plan's
+// simulation-relevant content: every entry's reference key, β, coverage,
+// write-first flag and alias flag, in first-use order. Two plans over the
+// same nest with equal fingerprints behave identically under simulation
+// (residency windows and regions are derived from the nest and the reuse
+// summary, which the entry keys pin down), so cross-design-point caches can
+// key on (kernel, fingerprint, scheduler config) to share one simulation
+// among all points whose allocators converged to the same β vector.
+func (p *Plan) Fingerprint() string {
+	var b strings.Builder
+	for _, e := range p.order {
+		fmt.Fprintf(&b, "%s=β%d,c%d,w%t,a%t;", e.Info.Key(), e.Beta, e.Coverage, e.WriteFirst, e.Aliased)
+	}
+	return b.String()
 }
 
 // TotalRegisters sums β across the plan (diagnostic).

@@ -266,3 +266,37 @@ func TestNewPlanErrors(t *testing.T) {
 		t.Error("empty nest should fail")
 	}
 }
+
+// TestFingerprint pins the cache-key contract: plans from identical β
+// vectors share a fingerprint, any β or coverage change breaks it, and the
+// HitInner fast path agrees with the map-environment Hit everywhere.
+func TestFingerprint(t *testing.T) {
+	a := figure1Plan(t, cpaBeta())
+	b := figure1Plan(t, cpaBeta())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("identical β vectors produced different fingerprints:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	changed := cpaBeta()
+	changed["a[k]"] = 8
+	c := figure1Plan(t, changed)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Errorf("different β vectors share fingerprint %s", a.Fingerprint())
+	}
+}
+
+// TestHitInnerMatchesHit cross-checks the innermost-position residency fast
+// path against the environment-based test over the whole iteration space.
+func TestHitInnerMatchesHit(t *testing.T) {
+	p := figure1Plan(t, cpaBeta())
+	for _, e := range p.Order() {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 20; j++ {
+				for k := 0; k < 30; k++ {
+					if got, want := e.HitInner(k), e.Hit(env(i, j, k)); got != want {
+						t.Fatalf("%s at (%d,%d,%d): HitInner=%t Hit=%t", e.Info.Key(), i, j, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,8 +1,9 @@
 // Package sched turns a storage plan into cycle counts: it schedules the
 // loop body's data-flow graph per iteration class (ASAP list scheduling
-// with per-RAM port constraints), enumerates the iteration space to weight
-// the classes, and accounts the register<->RAM transfer traffic at reuse
-// region boundaries.
+// with per-RAM port constraints), walks the iteration space once — a fused
+// pass that simultaneously weights the classes and accounts the
+// register<->RAM transfer traffic at reuse region boundaries (iterWalker)
+// — and prices the cold-start/epilogue overhead.
 //
 // Two cycle metrics are produced per iteration class and summed:
 //
@@ -91,31 +92,30 @@ func (r *Result) MemPerOuter(nest *ir.Nest) int {
 	return r.MemCycles / t
 }
 
-// Simulate runs the cycle-level simulation of the nest under the plan.
+// Simulate runs the cycle-level simulation of the nest under the plan. It
+// builds the body DFG itself; callers that already hold the graph (the
+// memoized hls.Analysis front-end, design-space sweeps) should use
+// SimulateGraph and skip the rebuild.
 func Simulate(nest *ir.Nest, plan *scalarrepl.Plan, cfg Config) (*Result, error) {
-	if cfg.PortsPerRAM < 1 {
-		return nil, fmt.Errorf("sched: PortsPerRAM must be ≥1, got %d", cfg.PortsPerRAM)
-	}
 	g, err := dfg.Build(nest)
 	if err != nil {
 		return nil, err
 	}
-	// Weight the iteration classes by walking the whole iteration space.
-	counts := map[string]int{}
-	env := map[string]int{}
-	var walk func(depth int)
-	walk = func(depth int) {
-		if depth == nest.Depth() {
-			counts[plan.HitKeys(env)]++
-			return
-		}
-		l := nest.Loops[depth]
-		for v := l.Lo; v < l.Hi; v += l.Step {
-			env[l.Var] = v
-			walk(depth + 1)
-		}
+	return SimulateGraph(nest, g, plan, cfg)
+}
+
+// SimulateGraph runs the cycle-level simulation of the nest under the plan
+// on a prebuilt (and already validated) body data-flow graph. One fused
+// pass over the iteration space weights the iteration classes and replays
+// the register<->RAM transfer protocol (see iterWalker); each class is then
+// list-scheduled once. The graph is only read, so one graph can back any
+// number of concurrent simulations.
+func SimulateGraph(nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg Config) (*Result, error) {
+	if cfg.PortsPerRAM < 1 {
+		return nil, fmt.Errorf("sched: PortsPerRAM must be ≥1, got %d", cfg.PortsPerRAM)
 	}
-	walk(0)
+	w := newIterWalker(nest, plan)
+	w.run()
 
 	res := &Result{}
 	order := plan.Order()
@@ -128,9 +128,13 @@ func Simulate(nest *ir.Nest, plan *scalarrepl.Plan, cfg Config) (*Result, error)
 			nodesPerKey[n.RefKey]++
 		}
 	}
+	counts := make(map[string]int, len(w.sigs))
 	var sigs []string
-	for sig := range counts {
-		sigs = append(sigs, sig)
+	for c, sig := range w.sigs {
+		if w.counts[c] > 0 {
+			counts[sig] = w.counts[c]
+			sigs = append(sigs, sig)
+		}
 	}
 	sort.Strings(sigs)
 	for _, sig := range sigs {
@@ -168,9 +172,8 @@ func Simulate(nest *ir.Nest, plan *scalarrepl.Plan, cfg Config) (*Result, error)
 	}
 	sort.Slice(res.Classes, func(i, j int) bool { return res.Classes[i].Count > res.Classes[j].Count })
 
-	loads, stores := transferCounts(nest, plan)
-	res.TransferLoads, res.TransferStores = loads, stores
-	res.TransferCycles = (loads + stores) * cfg.Lat.Mem
+	res.TransferLoads, res.TransferStores = w.loads, w.stores
+	res.TransferCycles = (w.loads + w.stores) * cfg.Lat.Mem
 	res.OverheadCycles = overheadCycles(plan, cfg)
 	res.TotalCycles = res.LoopCycles + res.OverheadCycles
 	return res, nil
@@ -291,107 +294,4 @@ func ScheduleClass(g *dfg.Graph, hit map[string]bool, cfg Config, zeroOps bool) 
 	}
 	sc.Length = length
 	return sc, nil
-}
-
-// transferCounts replays the register-file residency protocol — the same
-// one the functional simulation executes with real values — tracking only
-// element presence and dirty bits, and counts the RAM fills (loads) and
-// write-backs (stores) the plan incurs: first-touch loads, sliding-window
-// refills, region-boundary flushes and the final epilogue drain.
-func transferCounts(nest *ir.Nest, plan *scalarrepl.Plan) (loads, stores int) {
-	type file struct {
-		entry      *scalarrepl.Entry
-		dirty      map[int]bool // resident flats → dirty
-		lastRegion int
-	}
-	files := map[string]*file{}
-	for _, e := range plan.Order() {
-		if e.Coverage > 0 {
-			files[e.Info.Key()] = &file{entry: e, dirty: map[int]bool{}, lastRegion: -1}
-		}
-	}
-	flush := func(f *file) {
-		for flat, d := range f.dirty {
-			if d {
-				stores++
-			}
-			delete(f.dirty, flat)
-		}
-	}
-	evictIfFull := func(f *file) {
-		if len(f.dirty) < f.entry.Coverage {
-			return
-		}
-		victim, first := 0, true
-		for flat := range f.dirty {
-			if first || flat < victim {
-				victim, first = flat, false
-			}
-		}
-		if f.dirty[victim] {
-			stores++
-		}
-		delete(f.dirty, victim)
-	}
-	// access registers one reference touch: covered misses fill (reads) or
-	// dirty-insert (writes).
-	access := func(r *ir.ArrayRef, env map[string]int, isWrite bool) {
-		f := files[r.Key()]
-		if f == nil || !f.entry.Hit(env) {
-			return
-		}
-		flat := absFlat(r, env)
-		if _, resident := f.dirty[flat]; !resident {
-			evictIfFull(f)
-			if !isWrite {
-				loads++
-			}
-			f.dirty[flat] = false
-		}
-		if isWrite {
-			f.dirty[flat] = true
-		}
-	}
-	env := map[string]int{}
-	var walk func(depth int)
-	walk = func(depth int) {
-		if depth == nest.Depth() {
-			for _, f := range files {
-				r := f.entry.RegionOf(nest, env)
-				if f.lastRegion != r {
-					if f.lastRegion >= 0 {
-						flush(f)
-					}
-					f.lastRegion = r
-				}
-			}
-			for _, st := range nest.Body {
-				ir.WalkExpr(st.RHS, func(e ir.Expr) {
-					if r, ok := e.(*ir.ArrayRef); ok {
-						access(r, env, false)
-					}
-				})
-				access(st.LHS, env, true)
-			}
-			return
-		}
-		l := nest.Loops[depth]
-		for v := l.Lo; v < l.Hi; v += l.Step {
-			env[l.Var] = v
-			walk(depth + 1)
-		}
-	}
-	walk(0)
-	for _, f := range files {
-		flush(f)
-	}
-	return loads, stores
-}
-
-func absFlat(r *ir.ArrayRef, env map[string]int) int {
-	flat := 0
-	for dim, ix := range r.Index {
-		flat = flat*r.Array.Dims[dim] + ix.Eval(env)
-	}
-	return flat
 }
