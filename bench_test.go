@@ -17,6 +17,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/codegen"
@@ -241,6 +242,37 @@ func BenchmarkExplore(b *testing.B) {
 			}
 			if !bench.nocache {
 				b.ReportMetric(float64(sims), "unique_sims")
+			}
+		})
+	}
+}
+
+// BenchmarkStreamReport measures the streaming reporters on the stock
+// 192-point result set, with allocation counts: the buffered reporters
+// are thin wrappers over the same streaming cores, so allocs/op here is
+// the per-sweep rendering cost, and it must scale with the in-flight
+// window and the Pareto frontier — not with the number of points held —
+// as spaces grow.
+func BenchmarkStreamReport(b *testing.B) {
+	rs, err := dse.Engine{}.Explore(dse.DefaultSpace())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name string
+		rep  dse.Reporter
+	}{
+		{"table", dse.TableReporter{}},
+		{"csv", dse.CSVReporter{Pareto: true}},
+		{"csv_nopareto", dse.CSVReporter{}},
+		{"json", dse.JSONReporter{Indent: true}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := bench.rep.Report(io.Discard, rs); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

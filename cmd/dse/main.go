@@ -1,9 +1,15 @@
 // Command dse runs a concurrent design-space exploration over the kernel
 // suite: the cross-product of kernels × allocators × register budgets ×
-// devices × scheduler configurations is evaluated on a worker pool, the
-// per-kernel Pareto frontier over (time, slices, registers) is extracted,
-// and the results are reported as a table, CSV or JSON. Output is
-// byte-identical whatever the worker count.
+// devices × scheduler configurations is evaluated on a worker pool and the
+// results stream — through an order-restoring window, so memory stays
+// bounded however large the space — into a table, CSV or JSON report with
+// per-kernel Pareto frontiers. Output is byte-identical whatever the
+// worker count.
+//
+// Sweeps that outgrow one machine shard by global point index: every
+// worker process evaluates one stride of the space and emits a portable
+// JSON-lines shard file, and `dse merge` reassembles the shards into
+// output byte-identical to the single-process run.
 //
 // Usage:
 //
@@ -11,24 +17,34 @@
 //	dse -format csv -budgets 16,32,64,128 > sweep.csv
 //	dse -format json -kernels fir,mat -allocs CPA-RA,KS-RA -workers 8
 //	dse -devices XCV1000,XC2V6000,XC2V1000 -memlat 1,2,4 -ports 1,2
+//
+//	dse -shard 0/3 > s0.jsonl            # one shard per process/host...
+//	dse -shard 1/3 > s1.jsonl
+//	dse -shard 2/3 > s2.jsonl
+//	dse merge -format csv s0.jsonl s1.jsonl s2.jsonl   # ...merged back
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dse"
-	"repro/internal/fpga"
-	"repro/internal/kernels"
-	"repro/internal/sched"
+	"repro/internal/shard"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		if err := runMerge(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "dse merge:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		kernelList = flag.String("kernels", "", "comma-separated kernels (default: the six Table-1 kernels)")
 		allocList  = flag.String("allocs", "", "comma-separated allocators (default: FR-RA,PR-RA,CPA-RA,KS-RA)")
@@ -38,132 +54,131 @@ func main() {
 		portsList  = flag.String("ports", "1", "comma-separated RAM port counts")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		format     = flag.String("format", "table", "output format: table, csv or json")
+		shardSpec  = flag.String("shard", "", "evaluate one shard i/n of the space and emit the portable shard encoding instead of a report")
 		strict     = flag.Bool("strict", false, "exit non-zero when any design point fails")
 		nocache    = flag.Bool("nocache", false, "disable the cross-point simulation cache (diagnostic; output is byte-identical either way)")
 	)
 	flag.Parse()
-	if err := run(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList, *workers, *format, *strict, *nocache); err != nil {
+	formatSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "format" {
+			formatSet = true
+		}
+	})
+	if err := run(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList,
+		*workers, *format, *shardSpec, formatSet, *strict, *nocache); err != nil {
 		fmt.Fprintln(os.Stderr, "dse:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string, workers int, format string, strict, nocache bool) error {
-	sp, err := buildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList)
+func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string,
+	workers int, format, shardSpec string, formatSet, strict, nocache bool) error {
+	sp, err := dse.BuildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList)
 	if err != nil {
 		return err
 	}
-	var rep dse.Reporter
-	switch format {
-	case "table":
-		rep = dse.TableReporter{}
-	case "csv":
-		rep = dse.CSVReporter{Pareto: true}
-	case "json":
-		rep = dse.JSONReporter{Indent: true}
-	default:
-		return fmt.Errorf("unknown format %q (want table, csv or json)", format)
-	}
+	engine := dse.Engine{Workers: workers, NoSimCache: nocache}
 	start := time.Now()
-	rs, err := dse.Engine{Workers: workers, NoSimCache: nocache}.Explore(sp)
+
+	if shardSpec != "" {
+		plan, err := shard.ParsePlan(shardSpec)
+		if err != nil {
+			return err
+		}
+		if formatSet {
+			fmt.Fprintln(os.Stderr, "dse: note: -format is ignored with -shard; shards always emit the portable encoding (render with `dse merge`)")
+		}
+		st, err := shard.Run(engine, sp, plan, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dse: shard %s: %d points in %v (%d failed, %s)\n",
+			plan, st.Points, time.Since(start).Round(time.Millisecond), st.Failed, simsNote(st, nocache))
+		if strict {
+			return st.FirstErr
+		}
+		return nil
+	}
+
+	rep, err := reporter(format)
 	if err != nil {
 		return err
 	}
-	sims := "cache off"
-	if !nocache {
-		sims = fmt.Sprintf("%d unique simulations", rs.UniqueSims)
+	// Streaming reporters write per point; buffer stdout so a large sweep
+	// is not O(points) small syscalls.
+	out := bufio.NewWriter(os.Stdout)
+	st, err := engine.ExploreStream(sp, rep.Stream(out))
+	if err != nil {
+		return err
+	}
+	if err := out.Flush(); err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "dse: %d points in %v (%d failed, %s)\n",
-		len(rs.Results), time.Since(start).Round(time.Millisecond), len(rs.Failed()), sims)
+		st.Points, time.Since(start).Round(time.Millisecond), st.Failed, simsNote(st, nocache))
+	if strict {
+		return st.FirstErr
+	}
+	return nil
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("dse merge", flag.ExitOnError)
+	format := fs.String("format", "table", "output format: table, csv or json")
+	strict := fs.Bool("strict", false, "exit non-zero when any design point fails")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dse merge [-format table|csv|json] [-strict] shard.jsonl ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return errors.New("no shard files given (usage: dse merge [-format f] shard.jsonl ...)")
+	}
+	rs, err := shard.MergeFiles(fs.Args()...)
+	if err != nil {
+		return err
+	}
+	rep, err := reporter(*format)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dse merge: %d shards, %d points (%d failed, %d unique simulations summed)\n",
+		fs.NArg(), len(rs.Results), len(rs.Failed()), rs.UniqueSims)
 	if err := rep.Report(os.Stdout, rs); err != nil {
 		return err
 	}
-	if strict {
+	if *strict {
 		return rs.FirstErr()
 	}
 	return nil
 }
 
-func buildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList string) (dse.Space, error) {
-	var sp dse.Space
-	if kernelList == "" {
-		sp.Kernels = kernels.All()
-	} else {
-		for _, name := range splitList(kernelList) {
-			k, err := kernels.ByName(name)
-			if err != nil {
-				return sp, err
-			}
-			sp.Kernels = append(sp.Kernels, k)
-		}
-	}
-	if allocList == "" {
-		sp.Allocators = core.All()
-	} else {
-		for _, name := range splitList(allocList) {
-			a, err := core.ByName(name)
-			if err != nil {
-				return sp, err
-			}
-			sp.Allocators = append(sp.Allocators, a)
-		}
-	}
-	budgets, err := parseInts(budgetList, 0)
-	if err != nil {
-		return sp, fmt.Errorf("bad -budgets: %w", err)
-	}
-	sp.Budgets = budgets
-	for _, name := range splitList(deviceList) {
-		d, err := fpga.ByName(name)
-		if err != nil {
-			return sp, err
-		}
-		sp.Devices = append(sp.Devices, d)
-	}
-	memlats, err := parseInts(memlatList, 1)
-	if err != nil {
-		return sp, fmt.Errorf("bad -memlat: %w", err)
-	}
-	ports, err := parseInts(portsList, 1)
-	if err != nil {
-		return sp, fmt.Errorf("bad -ports: %w", err)
-	}
-	for _, lat := range memlats {
-		for _, p := range ports {
-			cfg := sched.DefaultConfig()
-			cfg.Lat.Mem = lat
-			cfg.PortsPerRAM = p
-			name := "default"
-			if len(memlats) > 1 || len(ports) > 1 || lat != 1 || p != 1 {
-				name = fmt.Sprintf("m%dp%d", lat, p)
-			}
-			sp.Scheds = append(sp.Scheds, dse.SchedVariant{Name: name, Config: cfg})
-		}
-	}
-	return sp, nil
+// streamableReporter is what every dse reporter provides: a buffered
+// Report (used by merge, which holds the set anyway) and a streaming
+// form (used by live exploration).
+type streamableReporter interface {
+	dse.Reporter
+	Stream(w io.Writer) dse.StreamReporter
 }
 
-func splitList(s string) []string {
-	var out []string
-	for _, f := range strings.Split(s, ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			out = append(out, f)
-		}
+func reporter(format string) (streamableReporter, error) {
+	switch format {
+	case "table":
+		return dse.TableReporter{}, nil
+	case "csv":
+		return dse.CSVReporter{Pareto: true}, nil
+	case "json":
+		return dse.JSONReporter{Indent: true}, nil
 	}
-	return out
+	return nil, fmt.Errorf("unknown format %q (want table, csv or json)", format)
 }
 
-func parseInts(s string, min int) ([]int, error) {
-	var out []int
-	for _, f := range splitList(s) {
-		v, err := strconv.Atoi(f)
-		if err != nil || v < min {
-			return nil, fmt.Errorf("bad value %q (want integer ≥ %d)", f, min)
-		}
-		out = append(out, v)
+func simsNote(st dse.StreamStats, nocache bool) string {
+	if nocache {
+		return "cache off"
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty list")
-	}
-	return out, nil
+	return fmt.Sprintf("%d unique simulations", st.UniqueSims)
 }

@@ -15,8 +15,8 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/hls"
 	"repro/internal/kernels"
-	"repro/internal/reuse"
 	"repro/internal/trace"
 )
 
@@ -45,10 +45,13 @@ func run(kernel, sizes string) error {
 		}
 		ss = append(ss, v)
 	}
-	infos, err := reuse.Analyze(k.Nest)
+	// The shared hls front-end (reuse analysis + DFG, one pass) is the
+	// same analysis every other driver starts from.
+	an, err := hls.Analyze(k)
 	if err != nil {
 		return err
 	}
+	infos := an.Infos
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	if err := w.Write([]string{"kernel", "reference", "nu", "size", "misses", "accesses"}); err != nil {

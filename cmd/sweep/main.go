@@ -1,10 +1,13 @@
 // Command sweep runs parameter sweeps over the kernel suite and writes CSV
 // for plotting: register budget, RAM latency and RAM port count, for every
-// kernel × allocator combination. Each axis is a thin wrapper over the
-// internal/dse exploration engine, so points are evaluated concurrently
-// (-workers) with the per-kernel front-end analysis shared across points
-// and the cross-point simulation cache deduplicating identical schedules;
-// the row order and bytes are identical whatever the worker count.
+// kernel × allocator combination. Each axis maps onto the internal/dse
+// exploration engine's streaming path, so points are evaluated
+// concurrently (-workers) with the per-kernel front-end analysis shared
+// across points and the cross-point simulation cache deduplicating
+// identical schedules — and rows are written as points complete, restored
+// to canonical order through the engine's bounded window, so memory does
+// not grow with the sweep. The row order and bytes are identical whatever
+// the worker count.
 //
 // Usage:
 //
@@ -20,12 +23,10 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/kernels"
-	"repro/internal/sched"
 )
 
 func main() {
@@ -43,13 +44,9 @@ func main() {
 }
 
 func run(axis, values, kernel string, workers int) error {
-	var vals []int
-	for _, s := range strings.Split(values, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || v < 1 {
-			return fmt.Errorf("bad axis value %q", s)
-		}
-		vals = append(vals, v)
+	vals, err := dse.ParseInts(values, 1)
+	if err != nil {
+		return fmt.Errorf("bad -values: %w", err)
 	}
 	sp := dse.Space{
 		Kernels:    kernels.All(),
@@ -66,60 +63,64 @@ func run(axis, values, kernel string, workers int) error {
 	switch axis {
 	case "rmax":
 		sp.Budgets = vals
-	case "memlat", "ports":
-		for _, v := range vals {
-			cfg := sched.DefaultConfig()
-			if axis == "memlat" {
-				cfg.Lat.Mem = v
-			} else {
-				cfg.PortsPerRAM = v
-			}
-			sp.Scheds = append(sp.Scheds, dse.SchedVariant{Name: strconv.Itoa(v), Config: cfg})
-		}
+	case "memlat":
+		sp.Scheds = dse.SchedAxis(vals, []int{1})
+	case "ports":
+		sp.Scheds = dse.SchedAxis([]int{1}, vals)
 	default:
 		return fmt.Errorf("unknown axis %q (want rmax, memlat or ports)", axis)
 	}
-	rs, err := dse.Engine{Workers: workers}.Explore(sp)
+	rep := &sweepCSV{axis: axis, cw: csv.NewWriter(os.Stdout)}
+	st, err := dse.Engine{Workers: workers}.ExploreStream(sp, rep)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d points, %d unique simulations\n", len(rs.Results), rs.UniqueSims)
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	if err := w.Write([]string{"kernel", "algorithm", axis, "registers", "cycles", "tmem", "clock_ns", "time_us", "slices", "brams"}); err != nil {
-		return err
-	}
+	fmt.Fprintf(os.Stderr, "sweep: %d points, %d unique simulations\n", st.Points, st.UniqueSims)
 	// Every per-point estimation failure is propagated — after the
 	// successful rows are written, so one infeasible point does not
 	// suppress the rest of the sweep.
-	var errs []error
-	for _, r := range rs.Results {
-		p := r.Point
-		// Read the swept value off the point itself rather than inferring
-		// it from the index order of the engine's axis nesting.
-		var v int
-		switch axis {
-		case "rmax":
-			v = p.Budget
-		case "memlat":
-			v = p.Sched.Config.Lat.Mem
-		default: // ports
-			v = p.Sched.Config.PortsPerRAM
-		}
-		if !r.Ok() {
-			errs = append(errs, fmt.Errorf("%s/%s %s=%d: %w", p.Kernel.Name, p.Allocator.Name(), axis, v, r.Err))
-			continue
-		}
-		d := r.Design
-		rec := []string{
-			p.Kernel.Name, p.Allocator.Name(), strconv.Itoa(v),
-			strconv.Itoa(d.Registers), strconv.Itoa(d.Cycles), strconv.Itoa(d.MemCycles),
-			fmt.Sprintf("%.1f", d.ClockNs), fmt.Sprintf("%.1f", d.TimeUs),
-			strconv.Itoa(d.Slices), strconv.Itoa(d.RAMs),
-		}
-		if err := w.Write(rec); err != nil {
-			return err
-		}
+	return errors.Join(rep.errs...)
+}
+
+// sweepCSV is the streaming reporter behind the sweep: one CSV row per
+// successful point, written as the ordered stream delivers it.
+type sweepCSV struct {
+	axis string
+	cw   *csv.Writer
+	errs []error
+}
+
+func (s *sweepCSV) Begin(dse.Space, int) error {
+	return s.cw.Write([]string{"kernel", "algorithm", s.axis, "registers", "cycles", "tmem", "clock_ns", "time_us", "slices", "brams"})
+}
+
+func (s *sweepCSV) Point(r dse.Result) error {
+	p := r.Point
+	// Read the swept value off the point itself rather than inferring
+	// it from the index order of the engine's axis nesting.
+	var v int
+	switch s.axis {
+	case "rmax":
+		v = p.Budget
+	case "memlat":
+		v = p.Sched.Config.Lat.Mem
+	default: // ports
+		v = p.Sched.Config.PortsPerRAM
 	}
-	return errors.Join(errs...)
+	if !r.Ok() {
+		s.errs = append(s.errs, fmt.Errorf("%s/%s %s=%d: %w", p.Kernel.Name, p.Allocator.Name(), s.axis, v, r.Err))
+		return nil
+	}
+	d := r.Design
+	return s.cw.Write([]string{
+		p.Kernel.Name, p.Allocator.Name(), strconv.Itoa(v),
+		strconv.Itoa(d.Registers), strconv.Itoa(d.Cycles), strconv.Itoa(d.MemCycles),
+		fmt.Sprintf("%.1f", d.ClockNs), fmt.Sprintf("%.1f", d.TimeUs),
+		strconv.Itoa(d.Slices), strconv.Itoa(d.RAMs),
+	})
+}
+
+func (s *sweepCSV) End(dse.StreamStats) error {
+	s.cw.Flush()
+	return s.cw.Error()
 }

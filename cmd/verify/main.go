@@ -16,7 +16,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/core"
-	"repro/internal/dfg"
+	"repro/internal/hls"
 	"repro/internal/ir"
 	"repro/internal/kernels"
 	"repro/internal/rtl"
@@ -47,7 +47,14 @@ func run(kernel, algo string, seed int64) error {
 	if err != nil {
 		return err
 	}
-	prob, err := core.NewProblem(k.Nest, k.Rmax, dfg.DefaultLatencies())
+	cfg := sched.DefaultConfig()
+	// One front-end pass (reuse analysis + DFG) feeds both the allocation
+	// problem and the cycle simulation, like cmd/dse and cmd/sweep.
+	an, err := hls.Analyze(k)
+	if err != nil {
+		return err
+	}
+	prob, err := core.NewProblemFrom(k.Nest, an.Infos, an.Graph, k.Rmax, cfg.Lat)
 	if err != nil {
 		return err
 	}
@@ -94,8 +101,7 @@ func run(kernel, algo string, seed int64) error {
 	}
 	fmt.Printf("  [3/4] generated code: %d fills, %d drains ✓\n", gstats.PrologueLoads, gstats.EpilogueStores)
 
-	cfg := sched.DefaultConfig()
-	res, err := sched.Simulate(k.Nest, plan, cfg)
+	res, err := sched.SimulateGraph(k.Nest, an.Graph, plan, cfg)
 	if err != nil {
 		return err
 	}

@@ -31,6 +31,12 @@ import (
 	"repro/internal/hls"
 )
 
+// The engine also streams: ExploreStream/ExploreShardStream (stream.go)
+// feed a StreamReporter through a bounded order-restoring window instead
+// of buffering the whole ResultSet, and the space partitions across
+// processes by strided point index (internal/shard) — ExploreShard
+// evaluates one stride while preserving global point numbering.
+
 // Result is the outcome of one design point: the estimated design, or the
 // estimation error (infeasible budget, device capacity, ...).
 type Result struct {
@@ -43,7 +49,10 @@ type Result struct {
 func (r Result) Ok() bool { return r.Err == nil && r.Design != nil }
 
 // ResultSet holds every result of one exploration in canonical point
-// order (Results[i].Point.Index == i).
+// order: Results[i].Point.Index == i for a full exploration. A sharded
+// set (ExploreShard, shard.Merge inputs) holds only the shard's owned
+// points — still in increasing order, but each carrying its global
+// Index — so index into Results positionally only on full sets.
 type ResultSet struct {
 	Space   Space // normalized: every axis populated
 	Results []Result
@@ -94,6 +103,14 @@ type Engine struct {
 	// results are byte-identical either way, the cache only removes
 	// redundant work).
 	NoSimCache bool
+	// Window caps the order-restoring window of the streaming entry
+	// points (ExploreStream/ExploreShardStream): at most Window results
+	// are dispatched-but-unemitted at any moment, so a slow head-of-line
+	// point throttles the pool instead of growing an unbounded reorder
+	// buffer. ≤0 uses 4×workers (minimum 16). The buffered
+	// Explore/ExploreShard entries are unaffected — they hold every
+	// result anyway.
+	Window int
 }
 
 func (e Engine) workers() int {
@@ -103,48 +120,37 @@ func (e Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+func (e Engine) window() int {
+	if e.Window > 0 {
+		return e.Window
+	}
+	return max(4*e.workers(), 16)
+}
+
 // Explore evaluates every point of the space and returns the full result
 // set. Per-point estimation failures land in the corresponding Result;
 // Explore itself errors only when the space is malformed or a kernel's
 // front-end analysis fails (which would poison all of its points).
 func (e Engine) Explore(sp Space) (*ResultSet, error) {
-	sp, err := sp.normalized()
+	return e.ExploreShard(sp, 0, 1)
+}
+
+// ExploreShard evaluates one shard of an n-way partition of the space:
+// the points whose global index ≡ shardIndex (mod shardCount). Results
+// holds only the owned points, in increasing global index order, with
+// every Point still carrying its global Index — so shard result sets
+// reassemble into the exact single-process ResultSet (see internal/shard
+// for the portable encoding and the merge). The stride interleaves, so
+// every shard sees every kernel (while shardCount allows) and the
+// per-kernel front-end memoization keeps paying off inside each shard.
+func (e Engine) ExploreShard(sp Space, shardIndex, shardCount int) (*ResultSet, error) {
+	var col collector
+	// Window 0 = no backpressure: the collector buffers everything anyway.
+	st, err := e.exploreStream(sp, shardIndex, shardCount, 0, &col)
 	if err != nil {
 		return nil, err
 	}
-	analyses, err := e.analyzeKernels(sp)
-	if err != nil {
-		return nil, err
-	}
-	pts := sp.Points()
-	results := make([]Result, len(pts))
-	sim := hls.SimFunc(simDirect)
-	var cache *simCache
-	if !e.NoSimCache {
-		cache = newSimCache()
-		sim = cache.simulate
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < e.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				results[i] = evaluate(analyses[pts[i].Kernel.Name], pts[i], sim)
-			}
-		}()
-	}
-	for i := range pts {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	rs := &ResultSet{Space: sp, Results: results}
-	if cache != nil {
-		rs.UniqueSims = cache.size()
-	}
-	return rs, nil
+	return &ResultSet{Space: col.space, Results: col.rows, UniqueSims: st.UniqueSims}, nil
 }
 
 // evaluate estimates one design point, converting an estimator panic into
@@ -161,10 +167,10 @@ func evaluate(an *hls.Analysis, p Point, sim hls.SimFunc) (res Result) {
 	return Result{Point: p, Design: d, Err: err}
 }
 
-// analyzeKernels builds the memoized front-end of every kernel on the
-// axis, concurrently (one analysis per kernel, however many points share
-// it).
-func (e Engine) analyzeKernels(sp Space) (map[string]*hls.Analysis, error) {
+// analyzeKernels builds the memoized front-end of every included kernel
+// on the axis, concurrently (one analysis per kernel, however many points
+// share it). A nil include set means every kernel.
+func (e Engine) analyzeKernels(sp Space, include map[string]bool) (map[string]*hls.Analysis, error) {
 	analyses := make(map[string]*hls.Analysis, len(sp.Kernels))
 	errs := make([]error, len(sp.Kernels))
 	var (
@@ -173,6 +179,9 @@ func (e Engine) analyzeKernels(sp Space) (map[string]*hls.Analysis, error) {
 		sem = make(chan struct{}, e.workers())
 	)
 	for i, k := range sp.Kernels {
+		if include != nil && !include[k.Name] {
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/hls"
+	"repro/internal/kernels"
 )
 
 // The Pareto objectives, all minimized: wall-clock execution time, slice
@@ -131,13 +132,48 @@ func (rs *ResultSet) FrontierByKernel() []KernelFrontier {
 	return out
 }
 
-// paretoIndexSet returns the point indices on some kernel's frontier.
-func paretoIndexSet(fronts []KernelFrontier) map[int]bool {
-	set := map[int]bool{}
-	for _, kf := range fronts {
-		for _, r := range kf.Points {
-			set[r.Point.Index] = true
+// frontierTracker maintains per-kernel Pareto frontiers incrementally as
+// results stream in: a new design is dropped if some kept design
+// dominates it, and evicts the kept designs it dominates. A dominated
+// point can never re-enter (dominance is transitive: whatever removed its
+// dominator dominates it too), so after the last result the kept sets
+// equal the batch Frontier exactly — ties and point order included, since
+// results arrive in point order and evictions preserve relative order.
+// Memory is O(frontier), not O(points): this is what lets the streaming
+// reporters render frontier summaries without buffering the result set.
+type frontierTracker struct {
+	byKernel map[string][]Result
+}
+
+func newFrontierTracker() *frontierTracker {
+	return &frontierTracker{byKernel: map[string][]Result{}}
+}
+
+func (ft *frontierTracker) add(r Result) {
+	if !r.Ok() {
+		return
+	}
+	kept := ft.byKernel[r.Point.Kernel.Name]
+	for _, q := range kept {
+		if dominates(q.Design, r.Design) {
+			return
 		}
 	}
-	return set
+	out := kept[:0]
+	for _, q := range kept {
+		if !dominates(r.Design, q.Design) {
+			out = append(out, q)
+		}
+	}
+	ft.byKernel[r.Point.Kernel.Name] = append(out, r)
+}
+
+// frontiers returns one frontier per kernel, in the given axis order —
+// the streaming counterpart of ResultSet.FrontierByKernel.
+func (ft *frontierTracker) frontiers(ks []kernels.Kernel) []KernelFrontier {
+	out := make([]KernelFrontier, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, KernelFrontier{Kernel: k.Name, Points: ft.byKernel[k.Name]})
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -9,57 +10,130 @@ import (
 	"strings"
 )
 
-// Reporter renders a result set. All reporters emit results in canonical
-// point order, so for a fixed space the output is byte-identical whatever
-// worker count produced the set.
+// Reporter renders a buffered result set. Every reporter is a thin wrapper
+// over its streaming counterpart (the Stream method), so buffered and
+// streamed renderings of the same results are byte-identical by
+// construction, and output is byte-identical whatever worker count — or
+// shard partition — produced the set.
 type Reporter interface {
 	Report(w io.Writer, rs *ResultSet) error
+}
+
+// replay feeds a buffered result set through a stream reporter.
+func replay(rs *ResultSet, sr StreamReporter) error {
+	if err := sr.Begin(rs.Space, len(rs.Results)); err != nil {
+		return err
+	}
+	st := StreamStats{Points: len(rs.Results), UniqueSims: rs.UniqueSims}
+	for _, r := range rs.Results {
+		if !r.Ok() {
+			st.Failed++
+		}
+		if err := sr.Point(r); err != nil {
+			return err
+		}
+	}
+	st.FirstErr = rs.FirstErr()
+	return sr.End(st)
 }
 
 // CSVReporter writes one row per design point.
 type CSVReporter struct {
 	// Pareto adds a trailing column marking kernel-frontier membership.
+	// The mark needs hindsight over the whole kernel (a later point can
+	// dominate an earlier row), so with Pareto set the streaming reporter
+	// holds the current kernel's results and flushes them at each kernel
+	// boundary — memory is one kernel block, freed per kernel. Without
+	// Pareto every row streams straight through the in-flight window.
 	Pareto bool
 }
 
 // Report implements Reporter.
 func (c CSVReporter) Report(w io.Writer, rs *ResultSet) error {
-	cw := csv.NewWriter(w)
+	return replay(rs, c.Stream(w))
+}
+
+// Stream returns the streaming form of the reporter.
+func (c CSVReporter) Stream(w io.Writer) StreamReporter {
+	return &csvStream{cw: csv.NewWriter(w), pareto: c.Pareto}
+}
+
+type csvStream struct {
+	cw     *csv.Writer
+	pareto bool
+	kernel string   // current kernel block (pareto mode)
+	block  []Result // pending rows of the current kernel block (pareto mode)
+}
+
+func (c *csvStream) Begin(sp Space, total int) error {
 	header := []string{
 		"kernel", "algorithm", "rmax", "device", "sched",
 		"registers", "cycles", "tmem", "clock_ns", "time_us", "slices", "slice_util_pct", "brams", "error",
 	}
-	if c.Pareto {
+	if c.pareto {
 		header = append(header, "pareto")
 	}
-	if err := cw.Write(header); err != nil {
-		return err
+	return c.cw.Write(header)
+}
+
+func (c *csvStream) Point(r Result) error {
+	if !c.pareto {
+		return c.cw.Write(csvRecord(r, false, false))
 	}
-	pareto := map[int]bool{}
-	if c.Pareto {
-		pareto = paretoIndexSet(rs.FrontierByKernel())
+	// Canonical point order is kernel-outermost, so each kernel arrives
+	// as one contiguous run and a kernel-name change closes the block.
+	if r.Point.Kernel.Name != c.kernel {
+		if err := c.flushBlock(); err != nil {
+			return err
+		}
+		c.kernel = r.Point.Kernel.Name
 	}
-	for _, r := range rs.Results {
-		p := r.Point
-		rec := []string{p.Kernel.Name, p.Allocator.Name(), strconv.Itoa(p.EffectiveBudget()), p.Device.Name, p.Sched.Name}
-		if r.Ok() {
-			d := r.Design
-			rec = append(rec,
-				strconv.Itoa(d.Registers), strconv.Itoa(d.Cycles), strconv.Itoa(d.MemCycles),
-				fmt.Sprintf("%.1f", d.ClockNs), fmt.Sprintf("%.1f", d.TimeUs),
-				strconv.Itoa(d.Slices), fmt.Sprintf("%.1f", d.SliceUtil), strconv.Itoa(d.RAMs), "")
-		} else {
-			rec = append(rec, "", "", "", "", "", "", "", "", errString(r))
-		}
-		if c.Pareto {
-			rec = append(rec, mark(pareto[p.Index]))
-		}
-		if err := cw.Write(rec); err != nil {
+	c.block = append(c.block, r)
+	return nil
+}
+
+// flushBlock writes the buffered kernel block with its frontier marks.
+func (c *csvStream) flushBlock() error {
+	if len(c.block) == 0 {
+		return nil
+	}
+	onFront := map[int]bool{}
+	for _, r := range Frontier(c.block) {
+		onFront[r.Point.Index] = true
+	}
+	for _, r := range c.block {
+		if err := c.cw.Write(csvRecord(r, true, onFront[r.Point.Index])); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	c.block = c.block[:0]
+	return nil
+}
+
+func (c *csvStream) End(StreamStats) error {
+	if err := c.flushBlock(); err != nil {
+		return err
+	}
+	c.cw.Flush()
+	return c.cw.Error()
+}
+
+func csvRecord(r Result, pareto, onFrontier bool) []string {
+	p := r.Point
+	rec := []string{p.Kernel.Name, p.Allocator.Name(), strconv.Itoa(p.EffectiveBudget()), p.Device.Name, p.Sched.Name}
+	if r.Ok() {
+		d := r.Design
+		rec = append(rec,
+			strconv.Itoa(d.Registers), strconv.Itoa(d.Cycles), strconv.Itoa(d.MemCycles),
+			fmt.Sprintf("%.1f", d.ClockNs), fmt.Sprintf("%.1f", d.TimeUs),
+			strconv.Itoa(d.Slices), fmt.Sprintf("%.1f", d.SliceUtil), strconv.Itoa(d.RAMs), "")
+	} else {
+		rec = append(rec, "", "", "", "", "", "", "", "", errString(r))
+	}
+	if pareto {
+		rec = append(rec, mark(onFrontier))
+	}
+	return rec
 }
 
 func mark(on bool) string {
@@ -82,12 +156,6 @@ func errString(r Result) string {
 // axes, one record per point, and the per-kernel Pareto frontiers.
 type JSONReporter struct {
 	Indent bool
-}
-
-type jsonDoc struct {
-	Space  jsonSpace      `json:"space"`
-	Points []jsonPoint    `json:"points"`
-	Pareto []jsonFrontier `json:"pareto"`
 }
 
 type jsonSpace struct {
@@ -127,95 +195,187 @@ type jsonFrontier struct {
 
 // Report implements Reporter.
 func (j JSONReporter) Report(w io.Writer, rs *ResultSet) error {
-	doc := jsonDoc{Points: []jsonPoint{}, Pareto: []jsonFrontier{}}
-	for _, k := range rs.Space.Kernels {
-		doc.Space.Kernels = append(doc.Space.Kernels, k.Name)
+	return replay(rs, j.Stream(w))
+}
+
+// Stream returns the streaming form of the reporter: the points array is
+// emitted one record at a time and the pareto section is assembled by the
+// incremental frontier tracker, so only the frontier is retained.
+func (j JSONReporter) Stream(w io.Writer) StreamReporter {
+	return &jsonStream{w: w, indent: j.Indent, ft: newFrontierTracker()}
+}
+
+type jsonStream struct {
+	w      io.Writer
+	indent bool
+	ft     *frontierTracker
+	sp     Space
+	n      int // points written so far
+}
+
+// fragment marshals v and, in indent mode, re-indents it to sit at the
+// given prefix inside the hand-assembled document (the first line carries
+// no prefix, matching where the caller writes it).
+func (s *jsonStream) fragment(v any, prefix string) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
 	}
-	for _, a := range rs.Space.Allocators {
-		doc.Space.Allocators = append(doc.Space.Allocators, a.Name())
+	if !s.indent {
+		return data, nil
 	}
-	doc.Space.Budgets = rs.Space.Budgets
-	for _, d := range rs.Space.Devices {
-		doc.Space.Devices = append(doc.Space.Devices, d.Name)
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, data, prefix, "  "); err != nil {
+		return nil, err
 	}
-	for _, s := range rs.Space.Scheds {
-		doc.Space.Scheds = append(doc.Space.Scheds, s.Name)
+	return buf.Bytes(), nil
+}
+
+func (s *jsonStream) Begin(sp Space, total int) error {
+	s.sp = sp
+	js := jsonSpace{Budgets: sp.Budgets}
+	for _, k := range sp.Kernels {
+		js.Kernels = append(js.Kernels, k.Name)
 	}
-	for _, r := range rs.Results {
-		p := r.Point
-		jp := jsonPoint{
-			ID:        p.ID(),
-			Kernel:    p.Kernel.Name,
-			Algorithm: p.Allocator.Name(),
-			Rmax:      p.EffectiveBudget(),
-			Device:    p.Device.Name,
-			Sched:     p.Sched.Name,
-		}
-		if r.Ok() {
-			d := r.Design
-			jp.Metrics = &jsonMetrics{
-				Registers:    d.Registers,
-				Cycles:       d.Cycles,
-				MemCycles:    d.MemCycles,
-				ClockNs:      d.ClockNs,
-				TimeUs:       d.TimeUs,
-				Slices:       d.Slices,
-				SliceUtilPct: d.SliceUtil,
-				RAMs:         d.RAMs,
-			}
-		} else {
-			jp.Error = errString(r)
-		}
-		doc.Points = append(doc.Points, jp)
+	for _, a := range sp.Allocators {
+		js.Allocators = append(js.Allocators, a.Name())
 	}
-	for _, kf := range rs.FrontierByKernel() {
+	for _, d := range sp.Devices {
+		js.Devices = append(js.Devices, d.Name)
+	}
+	for _, sv := range sp.Scheds {
+		js.Scheds = append(js.Scheds, sv.Name)
+	}
+	frag, err := s.fragment(js, "  ")
+	if err != nil {
+		return err
+	}
+	if s.indent {
+		_, err = fmt.Fprintf(s.w, "{\n  \"space\": %s,\n  \"points\": [", frag)
+	} else {
+		_, err = fmt.Fprintf(s.w, "{\"space\":%s,\"points\":[", frag)
+	}
+	return err
+}
+
+func (s *jsonStream) Point(r Result) error {
+	s.ft.add(r)
+	frag, err := s.fragment(jsonPointOf(r), "    ")
+	if err != nil {
+		return err
+	}
+	sep := ""
+	if s.n > 0 {
+		sep = ","
+	}
+	if s.indent {
+		_, err = fmt.Fprintf(s.w, "%s\n    %s", sep, frag)
+	} else {
+		_, err = fmt.Fprintf(s.w, "%s%s", sep, frag)
+	}
+	s.n++
+	return err
+}
+
+func (s *jsonStream) End(StreamStats) error {
+	fronts := make([]jsonFrontier, 0, len(s.sp.Kernels))
+	for _, kf := range s.ft.frontiers(s.sp.Kernels) {
 		jf := jsonFrontier{Kernel: kf.Kernel, Points: []string{}}
 		for _, r := range kf.Points {
 			jf.Points = append(jf.Points, r.Point.ID())
 		}
-		doc.Pareto = append(doc.Pareto, jf)
+		fronts = append(fronts, jf)
 	}
-	enc := json.NewEncoder(w)
-	if j.Indent {
-		enc.SetIndent("", "  ")
+	frag, err := s.fragment(fronts, "  ")
+	if err != nil {
+		return err
 	}
-	return enc.Encode(doc)
+	if s.indent {
+		closePoints := "]"
+		if s.n > 0 {
+			closePoints = "\n  ]"
+		}
+		_, err = fmt.Fprintf(s.w, "%s,\n  \"pareto\": %s\n}\n", closePoints, frag)
+	} else {
+		_, err = fmt.Fprintf(s.w, "],\"pareto\":%s}\n", frag)
+	}
+	return err
 }
 
-// TableReporter renders a fixed-width text table, with frontier points
-// starred, for interactive use.
+func jsonPointOf(r Result) jsonPoint {
+	p := r.Point
+	jp := jsonPoint{
+		ID:        p.ID(),
+		Kernel:    p.Kernel.Name,
+		Algorithm: p.Allocator.Name(),
+		Rmax:      p.EffectiveBudget(),
+		Device:    p.Device.Name,
+		Sched:     p.Sched.Name,
+	}
+	if r.Ok() {
+		d := r.Design
+		jp.Metrics = &jsonMetrics{
+			Registers:    d.Registers,
+			Cycles:       d.Cycles,
+			MemCycles:    d.MemCycles,
+			ClockNs:      d.ClockNs,
+			TimeUs:       d.TimeUs,
+			Slices:       d.Slices,
+			SliceUtilPct: d.SliceUtil,
+			RAMs:         d.RAMs,
+		}
+	} else {
+		jp.Error = errString(r)
+	}
+	return jp
+}
+
+// TableReporter renders a fixed-width text table with a per-kernel Pareto
+// frontier summary, for interactive use. Rows stream; only the frontier
+// (for the trailer) is retained.
 type TableReporter struct{}
 
 // Report implements Reporter.
-func (TableReporter) Report(w io.Writer, rs *ResultSet) error {
-	fronts := rs.FrontierByKernel()
-	pareto := paretoIndexSet(fronts)
-	if _, err := fmt.Fprintf(w, "%-8s %-8s %5s %-16s %-10s %6s %10s %10s %9s %7s %6s %2s\n",
-		"kernel", "algo", "rmax", "device", "sched", "regs", "cycles", "clock_ns", "time_us", "slices", "brams", "P"); err != nil {
+func (t TableReporter) Report(w io.Writer, rs *ResultSet) error {
+	return replay(rs, t.Stream(w))
+}
+
+// Stream returns the streaming form of the reporter.
+func (TableReporter) Stream(w io.Writer) StreamReporter {
+	return &tableStream{w: w, ft: newFrontierTracker()}
+}
+
+type tableStream struct {
+	w  io.Writer
+	ft *frontierTracker
+	sp Space
+}
+
+func (t *tableStream) Begin(sp Space, total int) error {
+	t.sp = sp
+	_, err := fmt.Fprintf(t.w, "%-8s %-8s %5s %-16s %-10s %6s %10s %10s %9s %7s %6s\n",
+		"kernel", "algo", "rmax", "device", "sched", "regs", "cycles", "clock_ns", "time_us", "slices", "brams")
+	return err
+}
+
+func (t *tableStream) Point(r Result) error {
+	t.ft.add(r)
+	p := r.Point
+	if !r.Ok() {
+		_, err := fmt.Fprintf(t.w, "%-8s %-8s %5d %-16s %-10s  ERROR: %s\n",
+			p.Kernel.Name, p.Allocator.Name(), p.EffectiveBudget(), p.Device.Name, p.Sched.Name, errString(r))
 		return err
 	}
-	for _, r := range rs.Results {
-		p := r.Point
-		if !r.Ok() {
-			if _, err := fmt.Fprintf(w, "%-8s %-8s %5d %-16s %-10s  ERROR: %s\n",
-				p.Kernel.Name, p.Allocator.Name(), p.EffectiveBudget(), p.Device.Name, p.Sched.Name, errString(r)); err != nil {
-				return err
-			}
-			continue
-		}
-		d := r.Design
-		star := ""
-		if pareto[p.Index] {
-			star = "*"
-		}
-		if _, err := fmt.Fprintf(w, "%-8s %-8s %5d %-16s %-10s %6d %10d %10.1f %9.1f %7d %6d %2s\n",
-			p.Kernel.Name, p.Allocator.Name(), p.EffectiveBudget(), p.Device.Name, p.Sched.Name,
-			d.Registers, d.Cycles, d.ClockNs, d.TimeUs, d.Slices, d.RAMs, star); err != nil {
-			return err
-		}
-	}
+	d := r.Design
+	_, err := fmt.Fprintf(t.w, "%-8s %-8s %5d %-16s %-10s %6d %10d %10.1f %9.1f %7d %6d\n",
+		p.Kernel.Name, p.Allocator.Name(), p.EffectiveBudget(), p.Device.Name, p.Sched.Name,
+		d.Registers, d.Cycles, d.ClockNs, d.TimeUs, d.Slices, d.RAMs)
+	return err
+}
+
+func (t *tableStream) End(StreamStats) error {
 	var lines []string
-	for _, kf := range fronts {
+	for _, kf := range t.ft.frontiers(t.sp.Kernels) {
 		var ids []string
 		for _, r := range kf.Points {
 			ids = append(ids, fmt.Sprintf("%s/r%d/%s/%s",
@@ -223,6 +383,6 @@ func (TableReporter) Report(w io.Writer, rs *ResultSet) error {
 		}
 		lines = append(lines, fmt.Sprintf("  %-8s %s", kf.Kernel, strings.Join(ids, "  ")))
 	}
-	_, err := fmt.Fprintf(w, "\npareto frontier per kernel (time_us × slices × registers):\n%s\n", strings.Join(lines, "\n"))
+	_, err := fmt.Fprintf(t.w, "\npareto frontier per kernel (time_us × slices × registers):\n%s\n", strings.Join(lines, "\n"))
 	return err
 }

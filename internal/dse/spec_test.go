@@ -1,0 +1,165 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	sp := DefaultSpace()
+	spec := Spec(sp)
+	back, err := spec.Space()
+	if err != nil {
+		t.Fatalf("Space(): %v", err)
+	}
+	want, got := sp.Points(), back.Points()
+	if len(want) != len(got) {
+		t.Fatalf("round trip changed point count: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].ID() != got[i].ID() {
+			t.Fatalf("point %d: %s != %s", i, want[i].ID(), got[i].ID())
+		}
+	}
+	if f1, f2 := spec.Fingerprint(), Spec(back).Fingerprint(); f1 != f2 {
+		t.Errorf("fingerprint changed across round trip: %s vs %s", f1, f2)
+	}
+}
+
+func TestSpecRoundTripSchedConfig(t *testing.T) {
+	// A non-default scheduler variant must reconstruct exactly — the
+	// latency model drives the simulation, so any drift would silently
+	// change merged results.
+	axis := SchedAxis([]int{1, 4}, []int{2})
+	sp := Space{
+		Kernels:    DefaultSpace().Kernels[:1],
+		Allocators: DefaultSpace().Allocators[:1],
+		Budgets:    []int{32},
+		Devices:    DefaultSpace().Devices[:1],
+		Scheds:     axis,
+	}
+	back, err := Spec(sp).Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range back.Scheds {
+		orig := axis[i]
+		if v.Name != orig.Name || v.Config.PortsPerRAM != orig.Config.PortsPerRAM {
+			t.Errorf("variant %d: %+v != %+v", i, v, orig)
+		}
+		if v.Config.Lat.Fingerprint() != orig.Config.Lat.Fingerprint() {
+			t.Errorf("variant %d latency model drifted: %s vs %s",
+				i, v.Config.Lat.Fingerprint(), orig.Config.Lat.Fingerprint())
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Spec(DefaultSpace())
+	seen := map[string]string{base.Fingerprint(): "base"}
+	check := func(name string, mutate func(*SpaceSpec)) {
+		s := Spec(DefaultSpace())
+		mutate(&s)
+		fp := s.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+	check("different budget", func(s *SpaceSpec) { s.Budgets[0] = 17 })
+	check("dropped kernel", func(s *SpaceSpec) { s.Kernels = s.Kernels[1:] })
+	check("reordered kernels", func(s *SpaceSpec) {
+		s.Kernels[0], s.Kernels[1] = s.Kernels[1], s.Kernels[0]
+	})
+	check("different RAM latency", func(s *SpaceSpec) { s.Scheds[0].Mem = 2 })
+	check("different ports", func(s *SpaceSpec) { s.Scheds[0].Ports = 2 })
+	check("different device", func(s *SpaceSpec) { s.Devices = s.Devices[:1] })
+}
+
+func TestSpecRejectsUnknownNamesAndEmptyAxes(t *testing.T) {
+	good := Spec(DefaultSpace())
+	for _, tc := range []struct {
+		name   string
+		mutate func(*SpaceSpec)
+	}{
+		{"unknown kernel", func(s *SpaceSpec) { s.Kernels[0] = "nope" }},
+		{"unknown allocator", func(s *SpaceSpec) { s.Allocators[0] = "ZZ-RA" }},
+		{"unknown device", func(s *SpaceSpec) { s.Devices[0] = "XC9999" }},
+		{"empty kernels", func(s *SpaceSpec) { s.Kernels = nil }},
+		{"empty scheds", func(s *SpaceSpec) { s.Scheds = nil }},
+	} {
+		s := good
+		// Deep-enough copy of the mutated axes.
+		s.Kernels = append([]string(nil), good.Kernels...)
+		s.Allocators = append([]string(nil), good.Allocators...)
+		s.Devices = append([]string(nil), good.Devices...)
+		s.Scheds = append([]SchedSpec(nil), good.Scheds...)
+		tc.mutate(&s)
+		if _, err := s.Space(); err == nil {
+			t.Errorf("%s: Space() accepted", tc.name)
+		}
+	}
+}
+
+func TestBuildSpace(t *testing.T) {
+	sp, err := BuildSpace("fir,mat", "CPA-RA", "16,32", "XCV1000", "1,2", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Kernels) != 2 || len(sp.Allocators) != 1 || len(sp.Budgets) != 2 ||
+		len(sp.Devices) != 1 || len(sp.Scheds) != 2 {
+		t.Fatalf("axes = %d/%d/%d/%d/%d, want 2/1/2/1/2", len(sp.Kernels),
+			len(sp.Allocators), len(sp.Budgets), len(sp.Devices), len(sp.Scheds))
+	}
+	if sp.Scheds[0].Name != "m1p1" || sp.Scheds[1].Name != "m2p1" {
+		t.Errorf("sched names = %s, %s; want m1p1, m2p1", sp.Scheds[0].Name, sp.Scheds[1].Name)
+	}
+	if sp.Scheds[1].Config.Lat.Mem != 2 {
+		t.Errorf("second variant Mem = %d, want 2", sp.Scheds[1].Config.Lat.Mem)
+	}
+
+	// Defaults: everything empty but budgets resolves to the full suite
+	// under the default scheduler.
+	sp, err = BuildSpace("", "", "0", "", "1", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Kernels) != 6 || len(sp.Allocators) != 4 || len(sp.Devices) != 0 {
+		t.Errorf("default axes = %d kernels, %d allocators, %d devices; want 6, 4, 0 (devices default at normalization)",
+			len(sp.Kernels), len(sp.Allocators), len(sp.Devices))
+	}
+	if len(sp.Scheds) != 1 || sp.Scheds[0].Name != "default" {
+		t.Errorf("singleton default sched axis = %+v", sp.Scheds)
+	}
+
+	for _, bad := range [][6]string{
+		{"nope", "", "16", "", "1", "1"},
+		{"", "ZZ-RA", "16", "", "1", "1"},
+		{"", "", "-1", "", "1", "1"},
+		{"", "", "16", "XC9999", "1", "1"},
+		{"", "", "16", "", "0", "1"},
+		{"", "", "16", "", "1", "x"},
+	} {
+		if _, err := BuildSpace(bad[0], bad[1], bad[2], bad[3], bad[4], bad[5]); err == nil {
+			t.Errorf("BuildSpace(%v) accepted", bad)
+		}
+	}
+}
+
+func TestSplitListAndParseInts(t *testing.T) {
+	if got := SplitList(" a, b ,,c "); strings.Join(got, "|") != "a|b|c" {
+		t.Errorf("SplitList = %v", got)
+	}
+	if got := SplitList(""); got != nil {
+		t.Errorf("SplitList(\"\") = %v, want nil", got)
+	}
+	vals, err := ParseInts("8, 16,32", 1)
+	if err != nil || len(vals) != 3 || vals[2] != 32 {
+		t.Errorf("ParseInts = %v, %v", vals, err)
+	}
+	for _, bad := range []string{"", "0", "x", "4,-4"} {
+		if _, err := ParseInts(bad, 1); err == nil {
+			t.Errorf("ParseInts(%q, 1) accepted", bad)
+		}
+	}
+}

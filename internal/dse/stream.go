@@ -1,0 +1,213 @@
+package dse
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hls"
+)
+
+// StreamReporter consumes one exploration's results in canonical point
+// order as they are produced, instead of receiving the whole ResultSet at
+// the end: Begin once, then Point once per result in strictly increasing
+// global point index order, then End. The engine restores order through a
+// bounded window (see Engine.Window), so a streaming consumer holds at
+// most the in-flight window in memory however large the space is.
+type StreamReporter interface {
+	// Begin is called once before any result, with the normalized space
+	// and the number of results the stream will carry (the owned subset
+	// for sharded runs, the full point count otherwise).
+	Begin(sp Space, total int) error
+	// Point is called once per result, in increasing Point.Index order.
+	Point(r Result) error
+	// End is called once after the last result with the stream statistics.
+	End(st StreamStats) error
+}
+
+// StreamStats summarizes one streamed exploration.
+type StreamStats struct {
+	// Points is the number of results emitted; Failed how many of them
+	// carried a per-point error.
+	Points int
+	Failed int
+	// UniqueSims is the number of distinct cycle simulations run (0 when
+	// the simulation cache was disabled), as on ResultSet.
+	UniqueSims int
+	// MaxWindow is the peak number of completed-but-unemitted results the
+	// order-restoring window held — bounded by Engine.Window, and the
+	// memory high-water mark of the streaming path.
+	MaxWindow int
+	// FirstErr is the first per-point error in point order, or nil.
+	FirstErr error
+}
+
+// ExploreStream evaluates every point of the space, feeding results to sr
+// in canonical order through the order-restoring window as workers
+// complete. Unlike Explore, memory is bounded by the window (plus whatever
+// sr retains), not by the number of points.
+func (e Engine) ExploreStream(sp Space, sr StreamReporter) (StreamStats, error) {
+	return e.exploreStream(sp, 0, 1, e.window(), sr)
+}
+
+// ExploreShardStream is ExploreStream restricted to one shard of an
+// n-way partition: only the points whose global index ≡ shardIndex
+// (mod shardCount) are evaluated, each still carrying its global Index.
+func (e Engine) ExploreShardStream(sp Space, shardIndex, shardCount int, sr StreamReporter) (StreamStats, error) {
+	return e.exploreStream(sp, shardIndex, shardCount, e.window(), sr)
+}
+
+// exploreStream is the engine core every entry point funnels into: it
+// normalizes the space, selects the owned stride, analyzes the kernels
+// that stride touches, and runs the worker pool. Workers complete out of
+// order; completed results park in an order-restoring window keyed by
+// global point index and are emitted as soon as the run of consecutive
+// owned indices extends. A window semaphore (window > 0) backpressures
+// the producer so at most `window` results are dispatched-but-unemitted
+// at any moment: a slow head-of-line point throttles the pool instead of
+// growing an unbounded reorder buffer. Deadlock-free because indices are
+// dispatched in emission order, so the next result to emit is always
+// already dispatched.
+func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr StreamReporter) (StreamStats, error) {
+	sp, err := sp.normalized()
+	if err != nil {
+		return StreamStats{}, err
+	}
+	if shardCount < 1 || shardIndex < 0 || shardIndex >= shardCount {
+		return StreamStats{}, fmt.Errorf("dse: invalid shard %d/%d (want count ≥ 1 and 0 ≤ index < count)", shardIndex, shardCount)
+	}
+	pts := sp.Points()
+	owned := make([]int, 0, (len(pts)+shardCount-1)/shardCount)
+	for i := shardIndex; i < len(pts); i += shardCount {
+		owned = append(owned, i)
+	}
+	// Only analyze kernels the owned stride touches: with more shards than
+	// points per kernel block, some kernels have no owned points at all.
+	ownedKernels := map[string]bool{}
+	for _, i := range owned {
+		ownedKernels[pts[i].Kernel.Name] = true
+	}
+	analyses, err := e.analyzeKernels(sp, ownedKernels)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	if err := sr.Begin(sp, len(owned)); err != nil {
+		return StreamStats{}, err
+	}
+
+	sim := hls.SimFunc(simDirect)
+	var cache *simCache
+	if !e.NoSimCache {
+		cache = newSimCache()
+		sim = cache.simulate
+	}
+
+	var sem chan struct{}
+	if window > 0 {
+		sem = make(chan struct{}, window)
+	}
+	idxCh := make(chan int)
+	results := make(chan Result)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				select {
+				case results <- evaluate(analyses[pts[i].Kernel.Name], pts[i], sim):
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(idxCh)
+		for _, i := range owned {
+			if sem != nil {
+				select {
+				case sem <- struct{}{}:
+				case <-stop:
+					return
+				}
+			}
+			select {
+			case idxCh <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var st StreamStats
+	var reportErr error
+	pending := map[int]Result{} // the order-restoring window
+	next := 0                   // position in owned of the next index to emit
+	for r := range results {
+		pending[r.Point.Index] = r
+		if len(pending) > st.MaxWindow {
+			st.MaxWindow = len(pending)
+		}
+		for next < len(owned) {
+			q, ok := pending[owned[next]]
+			if !ok {
+				break
+			}
+			delete(pending, owned[next])
+			next++
+			if sem != nil {
+				<-sem
+			}
+			st.Points++
+			if q.Err != nil {
+				st.Failed++
+				if st.FirstErr == nil {
+					st.FirstErr = fmt.Errorf("%s: %w", q.Point.ID(), q.Err)
+				}
+			}
+			if reportErr == nil {
+				if err := sr.Point(q); err != nil {
+					// Stop dispatching, but keep draining so the pool
+					// shuts down cleanly.
+					reportErr = err
+					close(stop)
+				}
+			}
+		}
+	}
+	if reportErr != nil {
+		return st, reportErr
+	}
+	if cache != nil {
+		st.UniqueSims = cache.size()
+	}
+	if err := sr.End(st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// collector buffers a stream back into result order — the adapter behind
+// the buffered Explore/ExploreShard entry points.
+type collector struct {
+	space Space
+	rows  []Result
+}
+
+func (c *collector) Begin(sp Space, total int) error {
+	c.space = sp
+	c.rows = make([]Result, 0, total)
+	return nil
+}
+
+func (c *collector) Point(r Result) error {
+	c.rows = append(c.rows, r)
+	return nil
+}
+
+func (c *collector) End(StreamStats) error { return nil }

@@ -1,0 +1,387 @@
+// Package shard makes design-space exploration distributable: it
+// partitions a dse.Space across processes by global point index, defines
+// a versioned, self-describing encoding for one shard's results (JSON
+// lines: a header carrying the space fingerprint and shard coordinates,
+// one row per point, a trailer marking completeness), and merges shard
+// files back into a ResultSet byte-identical — through every reporter —
+// to a single-process run.
+//
+// The partition is strided: shard i of n owns the points whose global
+// index ≡ i (mod n). Because the point order is row-major with the kernel
+// axis outermost, a stride interleaves across kernels, so every shard
+// sees every kernel (while the shard count allows) and the per-kernel
+// front-end memoization keeps paying off inside each worker process.
+//
+// Rows carry only the design metrics the reporters and Pareto extraction
+// read — decoded designs have no allocation, storage plan or schedule
+// attached. Merge revalidates everything: one fingerprint across files,
+// every shard present exactly once, every point covered exactly once,
+// every row owned by the shard that wrote it. UniqueSims is summed across
+// shards (each process runs its own simulation cache, so the sum can
+// exceed a single process's count — plans deduplicated globally may be
+// simulated once per shard).
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dse"
+	"repro/internal/hls"
+)
+
+// Plan names one shard of an n-way partition: the design points whose
+// global index ≡ Index (mod Count).
+type Plan struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// ParsePlan parses the CLI shard syntax "i/n" (e.g. "0/3").
+func ParsePlan(s string) (Plan, error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return Plan{}, fmt.Errorf("shard: bad shard %q (want index/count, e.g. 0/3)", s)
+	}
+	i, err := strconv.Atoi(strings.TrimSpace(is))
+	if err != nil {
+		return Plan{}, fmt.Errorf("shard: bad shard index %q", is)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(ns))
+	if err != nil {
+		return Plan{}, fmt.Errorf("shard: bad shard count %q", ns)
+	}
+	p := Plan{Index: i, Count: n}
+	return p, p.Validate()
+}
+
+// Validate checks the partition coordinates.
+func (p Plan) Validate() error {
+	if p.Count < 1 || p.Index < 0 || p.Index >= p.Count {
+		return fmt.Errorf("shard: invalid shard %d/%d (want count ≥ 1 and 0 ≤ index < count)", p.Index, p.Count)
+	}
+	return nil
+}
+
+// String renders the CLI syntax "i/n".
+func (p Plan) String() string { return fmt.Sprintf("%d/%d", p.Index, p.Count) }
+
+// Owns reports whether this shard evaluates global point index i.
+func (p Plan) Owns(i int) bool { return i >= 0 && i%p.Count == p.Index }
+
+// Size returns how many of total points this shard owns.
+func (p Plan) Size(total int) int {
+	if total <= p.Index {
+		return 0
+	}
+	return (total - p.Index + p.Count - 1) / p.Count
+}
+
+const (
+	formatName    = "repro-dse-shard"
+	formatVersion = 1
+)
+
+// header is the first line of a shard file: enough to validate a merge
+// (fingerprint, shard coordinates, global point count) and to rebuild the
+// space (the registry-name spec).
+type header struct {
+	Format      string        `json:"format"`
+	Version     int           `json:"version"`
+	Fingerprint string        `json:"fingerprint"`
+	Shard       Plan          `json:"shard"`
+	Points      int           `json:"points"` // global space size
+	Rows        int           `json:"rows"`   // points this shard owns
+	Space       dse.SpaceSpec `json:"space"`
+}
+
+// metrics is the portable subset of hls.Design: exactly what the
+// reporters and the Pareto objectives read. float64 fields round-trip
+// bit-exactly through encoding/json (shortest-representation encoding),
+// which is what keeps merged output byte-identical.
+type metrics struct {
+	Registers int     `json:"registers"`
+	Cycles    int     `json:"cycles"`
+	MemCycles int     `json:"tmem"`
+	ClockNs   float64 `json:"clock_ns"`
+	TimeUs    float64 `json:"time_us"`
+	Slices    int     `json:"slices"`
+	SliceUtil float64 `json:"slice_util_pct"`
+	RAMs      int     `json:"brams"`
+}
+
+// line is the union of the three post-header line shapes: a result row
+// (Index + Design or Error) or the trailer (EOF, written last — a file
+// without one was truncated mid-run).
+type line struct {
+	Index      *int     `json:"index,omitempty"`
+	Design     *metrics `json:"design,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	EOF        bool     `json:"eof,omitempty"`
+	Rows       int      `json:"rows,omitempty"`
+	UniqueSims int      `json:"unique_sims,omitempty"`
+}
+
+// Writer streams one shard's results into the portable encoding; it
+// implements dse.StreamReporter, so it plugs directly into
+// Engine.ExploreShardStream and holds no per-point state.
+type Writer struct {
+	w    *bufio.Writer
+	enc  *json.Encoder
+	plan Plan
+	rows int
+}
+
+// NewWriter returns a Writer for one shard of the partition.
+func NewWriter(w io.Writer, p Plan) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw), plan: p}
+}
+
+// Begin implements dse.StreamReporter: it writes the header line.
+func (sw *Writer) Begin(sp dse.Space, total int) error {
+	spec := dse.Spec(sp)
+	return sw.enc.Encode(header{
+		Format:      formatName,
+		Version:     formatVersion,
+		Fingerprint: spec.Fingerprint(),
+		Shard:       sw.plan,
+		Points:      sp.Size(),
+		Rows:        total,
+		Space:       spec,
+	})
+}
+
+// Point implements dse.StreamReporter: one JSON line per result.
+func (sw *Writer) Point(r dse.Result) error {
+	idx := r.Point.Index
+	ln := line{Index: &idx}
+	if r.Ok() {
+		d := r.Design
+		ln.Design = &metrics{
+			Registers: d.Registers,
+			Cycles:    d.Cycles,
+			MemCycles: d.MemCycles,
+			ClockNs:   d.ClockNs,
+			TimeUs:    d.TimeUs,
+			Slices:    d.Slices,
+			SliceUtil: d.SliceUtil,
+			RAMs:      d.RAMs,
+		}
+	} else if r.Err != nil && r.Err.Error() != "" {
+		ln.Error = r.Err.Error()
+	} else {
+		// Also covers an error whose message is empty: the row must carry
+		// exactly one of design or error, or decode would reject the file.
+		ln.Error = "no design"
+	}
+	sw.rows++
+	return sw.enc.Encode(ln)
+}
+
+// End implements dse.StreamReporter: it writes the trailer and flushes.
+func (sw *Writer) End(st dse.StreamStats) error {
+	if err := sw.enc.Encode(line{EOF: true, Rows: sw.rows, UniqueSims: st.UniqueSims}); err != nil {
+		return err
+	}
+	return sw.w.Flush()
+}
+
+// Run evaluates one shard of the space and streams the portable encoding
+// to w: the worker-process entry point behind `dse -shard i/n`.
+func Run(e dse.Engine, sp dse.Space, p Plan, w io.Writer) (dse.StreamStats, error) {
+	if err := p.Validate(); err != nil {
+		return dse.StreamStats{}, err
+	}
+	return e.ExploreShardStream(sp, p.Index, p.Count, NewWriter(w, p))
+}
+
+// shardFile is one decoded shard file.
+type shardFile struct {
+	h    header
+	rows []line
+	sims int
+}
+
+func decode(r io.Reader) (*shardFile, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var f shardFile
+	if err := dec.Decode(&f.h); err != nil {
+		return nil, fmt.Errorf("shard: bad or missing header: %w", err)
+	}
+	if f.h.Format != formatName {
+		return nil, fmt.Errorf("shard: not a shard file (format %q, want %q)", f.h.Format, formatName)
+	}
+	if f.h.Version != formatVersion {
+		return nil, fmt.Errorf("shard: unsupported encoding version %d (want %d)", f.h.Version, formatVersion)
+	}
+	if err := f.h.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	sawTrailer := false
+	for {
+		var ln line
+		if err := dec.Decode(&ln); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("shard: shard %s: bad row %d: %w", f.h.Shard, len(f.rows), err)
+		}
+		if sawTrailer {
+			return nil, fmt.Errorf("shard: shard %s: data after trailer", f.h.Shard)
+		}
+		if ln.EOF {
+			if ln.Rows != len(f.rows) {
+				return nil, fmt.Errorf("shard: shard %s: trailer says %d rows, file has %d", f.h.Shard, ln.Rows, len(f.rows))
+			}
+			f.sims = ln.UniqueSims
+			sawTrailer = true
+			continue
+		}
+		if ln.Index == nil {
+			return nil, fmt.Errorf("shard: shard %s: row %d has no point index", f.h.Shard, len(f.rows))
+		}
+		if (ln.Design == nil) == (ln.Error == "") {
+			return nil, fmt.Errorf("shard: shard %s: point %d needs exactly one of design or error", f.h.Shard, *ln.Index)
+		}
+		f.rows = append(f.rows, ln)
+	}
+	if !sawTrailer {
+		return nil, fmt.Errorf("shard: shard %s: truncated file (no trailer after %d rows)", f.h.Shard, len(f.rows))
+	}
+	if f.h.Rows != len(f.rows) {
+		return nil, fmt.Errorf("shard: shard %s: header says %d rows, file has %d", f.h.Shard, f.h.Rows, len(f.rows))
+	}
+	return &f, nil
+}
+
+// Merge reassembles the full ResultSet from one reader per shard file.
+// All shards must come from the same space fingerprint; missing shards,
+// duplicate shards, duplicate or foreign point indices, and truncated
+// files are all errors. The returned set reports identically — byte for
+// byte, Pareto frontiers recomputed on the merged results — to a
+// single-process Explore of the same space.
+func Merge(readers ...io.Reader) (*dse.ResultSet, error) {
+	return merge(readers, nil)
+}
+
+// merge is Merge with an optional display name per reader (file paths,
+// when coming from MergeFiles) for error messages.
+func merge(readers []io.Reader, names []string) (*dse.ResultSet, error) {
+	if len(readers) == 0 {
+		return nil, errors.New("shard: no shard files to merge")
+	}
+	name := func(i int) string {
+		if names != nil {
+			return names[i]
+		}
+		return fmt.Sprintf("file %d", i)
+	}
+	files := make([]*shardFile, len(readers))
+	for i, r := range readers {
+		f, err := decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name(i), err)
+		}
+		files[i] = f
+	}
+	first := files[0].h
+	seen := map[int]bool{}
+	for i, f := range files {
+		if f.h.Fingerprint != first.Fingerprint {
+			return nil, fmt.Errorf("shard: %s: space fingerprint mismatch: %s vs %s (shards of different explorations)",
+				name(i), f.h.Fingerprint, first.Fingerprint)
+		}
+		if f.h.Shard.Count != first.Shard.Count || f.h.Points != first.Points {
+			return nil, fmt.Errorf("shard: %s: partition mismatch: shard %s of %d points vs shard %s of %d points",
+				name(i), f.h.Shard, f.h.Points, first.Shard, first.Points)
+		}
+		if seen[f.h.Shard.Index] {
+			return nil, fmt.Errorf("shard: duplicate shard %s", f.h.Shard)
+		}
+		seen[f.h.Shard.Index] = true
+	}
+	for i := 0; i < first.Shard.Count; i++ {
+		if !seen[i] {
+			return nil, fmt.Errorf("shard: missing shard %d/%d", i, first.Shard.Count)
+		}
+	}
+	sp, err := first.Space.Space()
+	if err != nil {
+		return nil, err
+	}
+	pts := sp.Points()
+	if len(pts) != first.Points {
+		return nil, fmt.Errorf("shard: rebuilt space has %d points, header says %d", len(pts), first.Points)
+	}
+	results := make([]dse.Result, len(pts))
+	filled := make([]bool, len(pts))
+	sims := 0
+	for _, f := range files {
+		plan := f.h.Shard
+		for _, ln := range f.rows {
+			g := *ln.Index
+			if g < 0 || g >= len(pts) {
+				return nil, fmt.Errorf("shard: shard %s: point index %d out of range [0,%d)", plan, g, len(pts))
+			}
+			if !plan.Owns(g) {
+				return nil, fmt.Errorf("shard: shard %s: row for point %d it does not own", plan, g)
+			}
+			if filled[g] {
+				return nil, fmt.Errorf("shard: duplicate row for point %d", g)
+			}
+			filled[g] = true
+			r := dse.Result{Point: pts[g]}
+			if ln.Design != nil {
+				m := ln.Design
+				r.Design = &hls.Design{
+					Kernel:    pts[g].Kernel.Name,
+					Algorithm: pts[g].Allocator.Name(),
+					Registers: m.Registers,
+					Cycles:    m.Cycles,
+					MemCycles: m.MemCycles,
+					ClockNs:   m.ClockNs,
+					TimeUs:    m.TimeUs,
+					Slices:    m.Slices,
+					SliceUtil: m.SliceUtil,
+					RAMs:      m.RAMs,
+				}
+			} else {
+				r.Err = errors.New(ln.Error)
+			}
+			results[g] = r
+		}
+		sims += f.sims
+	}
+	for g, ok := range filled {
+		if !ok {
+			return nil, fmt.Errorf("shard: point %d missing from every shard", g)
+		}
+	}
+	return &dse.ResultSet{Space: sp, Results: results, UniqueSims: sims}, nil
+}
+
+// MergeFiles is Merge over files on disk.
+func MergeFiles(paths ...string) (*dse.ResultSet, error) {
+	readers := make([]io.Reader, len(paths))
+	closers := make([]io.Closer, 0, len(paths))
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, f)
+		readers[i] = f
+	}
+	return merge(readers, paths)
+}
