@@ -32,6 +32,7 @@ import (
 	"repro/internal/rtl"
 	"repro/internal/scalarrepl"
 	"repro/internal/sched"
+	"repro/internal/simcache"
 	"repro/internal/trace"
 	"repro/internal/transform"
 )
@@ -276,6 +277,81 @@ func BenchmarkStreamReport(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkIncrementalSim measures the compositional engine on single-β
+// plan perturbations of the largest kernel (BIC, ~208k iteration points):
+// after a base plan warms the fragment store, each perturbed plan differing
+// in one reference's β re-simulates by re-walking at most that entry's
+// reuse-region sub-space and assembling everything else from cached
+// fragments — o(iteration-space) work, where the cold engine pays for the
+// full per-entry walks. The cold/incremental gap is the fragment reuse.
+func BenchmarkIncrementalSim(b *testing.B) {
+	k := kernels.BIC()
+	prob, err := core.NewProblem(k.Nest, k.Rmax, dfg.DefaultLatencies())
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := (core.CPARA{}).Allocate(prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A ring of single-β perturbations of the CPA-RA plan: each plan
+	// differs from the base in exactly one reference's register count.
+	var plans []*scalarrepl.Plan
+	for _, inf := range prob.Infos {
+		for _, delta := range []int{-1, 1} {
+			beta := map[string]int{}
+			for key, v := range alloc.Beta {
+				beta[key] = v
+			}
+			if beta[inf.Key()]+delta < 1 {
+				continue
+			}
+			beta[inf.Key()] += delta
+			p, err := scalarrepl.NewPlan(k.Nest, prob.Infos, beta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plans = append(plans, p)
+		}
+	}
+	base, err := scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sched.DefaultConfig()
+
+	b.Run("cold", func(b *testing.B) {
+		// No cache: every perturbed plan pays its full per-entry walks.
+		sim := &sched.Simulator{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.SimulateGraph(k.Nest, prob.Graph, plans[i%len(plans)], cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		// Shared store, warmed by the base plan and the first lap over the
+		// perturbation ring; steady state assembles from fragments only.
+		sim := &sched.Simulator{Cache: simcache.New()}
+		if _, err := sim.SimulateGraph(k.Nest, prob.Graph, base, cfg); err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range plans {
+			if _, err := sim.SimulateGraph(k.Nest, prob.Graph, p, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.SimulateGraph(k.Nest, prob.Graph, plans[i%len(plans)], cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimulatorOnly isolates the cycle simulator on the largest

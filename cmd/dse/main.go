@@ -6,10 +6,13 @@
 // per-kernel Pareto frontiers. Output is byte-identical whatever the
 // worker count.
 //
-// Sweeps that outgrow one machine shard by global point index: every
-// worker process evaluates one stride of the space and emits a portable
-// JSON-lines shard file, and `dse merge` reassembles the shards into
-// output byte-identical to the single-process run.
+// Simulation work is deduplicated at three levels: identical plans share
+// one simulation (the plan cache), distinct plans share per-entry transfer
+// replays and per-class schedules (the fragment store, see
+// internal/simcache), and with -simcache-dir the fragment store persists
+// to disk, so independent shard processes share it too. -portfolio
+// collapses the allocator axis: each point runs every allocator and keeps
+// the best design by (time, slices, registers).
 //
 // Usage:
 //
@@ -17,11 +20,12 @@
 //	dse -format csv -budgets 16,32,64,128 > sweep.csv
 //	dse -format json -kernels fir,mat -allocs CPA-RA,KS-RA -workers 8
 //	dse -devices XCV1000,XC2V6000,XC2V1000 -memlat 1,2,4 -ports 1,2
+//	dse -portfolio -format table         # best allocator per point
 //
-//	dse -shard 0/3 > s0.jsonl            # one shard per process/host...
-//	dse -shard 1/3 > s1.jsonl
-//	dse -shard 2/3 > s2.jsonl
-//	dse merge -format csv s0.jsonl s1.jsonl s2.jsonl   # ...merged back
+//	dse -shard 0/3 -simcache-dir /tmp/sc > s0.jsonl   # one shard per process/host...
+//	dse -shard 1/3 -simcache-dir /tmp/sc > s1.jsonl   # ...sharing simulation work
+//	dse -shard 2/3 -simcache-dir /tmp/sc > s2.jsonl
+//	dse merge -format csv s0.jsonl s1.jsonl s2.jsonl  # ...merged back
 package main
 
 import (
@@ -31,10 +35,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/dse"
 	"repro/internal/shard"
+	"repro/internal/simcache"
 )
 
 func main() {
@@ -57,6 +64,10 @@ func main() {
 		shardSpec  = flag.String("shard", "", "evaluate one shard i/n of the space and emit the portable shard encoding instead of a report")
 		strict     = flag.Bool("strict", false, "exit non-zero when any design point fails")
 		nocache    = flag.Bool("nocache", false, "disable the cross-point simulation cache (diagnostic; output is byte-identical either way)")
+		portfolio  = flag.Bool("portfolio", false, "run every allocator per point and keep the best design by (time, slices, registers)")
+		cacheDir   = flag.String("simcache-dir", "", "back the fragment/schedule store with files in this directory (shared across shard processes)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	formatSet := false
@@ -65,20 +76,51 @@ func main() {
 			formatSet = true
 		}
 	})
-	if err := run(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList,
-		*workers, *format, *shardSpec, formatSet, *strict, *nocache); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+			os.Exit(1)
+		}
+	}
+	err := run(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList,
+		*workers, *format, *shardSpec, *cacheDir, formatSet, *strict, *nocache, *portfolio)
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		if perr := writeHeapProfile(*memProf); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dse:", err)
 		os.Exit(1)
 	}
 }
 
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // up-to-date allocation data
+	return pprof.WriteHeapProfile(f)
+}
+
 func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string,
-	workers int, format, shardSpec string, formatSet, strict, nocache bool) error {
+	workers int, format, shardSpec, cacheDir string, formatSet, strict, nocache, portfolio bool) error {
 	sp, err := dse.BuildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList)
 	if err != nil {
 		return err
 	}
-	engine := dse.Engine{Workers: workers, NoSimCache: nocache}
+	sp.Portfolio = portfolio
+	engine := dse.Engine{Workers: workers, NoSimCache: nocache, SimCacheDir: cacheDir}
 	start := time.Now()
 
 	if shardSpec != "" {
@@ -145,8 +187,8 @@ func runMerge(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "dse merge: %d shards, %d points (%d failed, %d unique simulations summed)\n",
-		fs.NArg(), len(rs.Results), len(rs.Failed()), rs.UniqueSims)
+	fmt.Fprintf(os.Stderr, "dse merge: %d shards, %d points (%d failed, %d unique simulations summed%s)\n",
+		fs.NArg(), len(rs.Results), len(rs.Failed()), rs.UniqueSims, cacheNote(rs.Cache))
 	if err := rep.Report(os.Stdout, rs); err != nil {
 		return err
 	}
@@ -180,5 +222,14 @@ func simsNote(st dse.StreamStats, nocache bool) string {
 	if nocache {
 		return "cache off"
 	}
-	return fmt.Sprintf("%d unique simulations", st.UniqueSims)
+	return fmt.Sprintf("%d unique simulations%s", st.UniqueSims, cacheNote(st.Cache))
+}
+
+// cacheNote renders the per-stage hit counters (entry fragments, class
+// schedules, whole plans) as hits[+diskHits]/misses per stage.
+func cacheNote(s simcache.Snapshot) string {
+	if s.Zero() {
+		return ""
+	}
+	return "; " + s.String()
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/ir"
 )
@@ -73,6 +74,10 @@ type Graph struct {
 	Nodes []*Node
 	Succ  [][]int
 	Pred  [][]int
+
+	// Fingerprint cache; computed lazily, safe for concurrent readers.
+	fpOnce sync.Once
+	fp     string
 }
 
 func newGraph() *Graph { return &Graph{} }

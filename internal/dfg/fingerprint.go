@@ -1,0 +1,35 @@
+package dfg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a digest identifying everything a scheduler reads
+// from the graph: per node its kind, reference key and array (port
+// contention groups by array), operator kind, and predecessor list, in node
+// order. Two graphs with equal fingerprints schedule identically under any
+// latency model and residency pattern, so cross-plan schedule caches can
+// key on it. The digest is computed once and cached; the graph must not be
+// mutated afterwards (Build's product is read-only by convention).
+func (g *Graph) Fingerprint() string {
+	g.fpOnce.Do(func() {
+		var b strings.Builder
+		for i, n := range g.Nodes {
+			if n.Kind == KindRef {
+				fmt.Fprintf(&b, "%d:r:%s:%s:%t:%t<", i, n.RefKey, n.Ref.Array.Name, n.IsWrite, n.IsRead)
+			} else {
+				fmt.Fprintf(&b, "%d:o:%d<", i, int(n.Op))
+			}
+			for _, p := range g.Pred[i] {
+				fmt.Fprintf(&b, "%d,", p)
+			}
+			b.WriteByte(';')
+		}
+		sum := sha256.Sum256([]byte(b.String()))
+		g.fp = hex.EncodeToString(sum[:])
+	})
+	return g.fp
+}

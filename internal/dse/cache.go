@@ -8,6 +8,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/scalarrepl"
 	"repro/internal/sched"
+	"repro/internal/simcache"
 )
 
 // simCache memoizes cycle simulations across the design points of one
@@ -25,6 +26,13 @@ import (
 type simCache struct {
 	mu sync.Mutex
 	m  map[simKey]*simEntry
+	// sim is the compositional simulator whose fragment/class-schedule
+	// store (sim.Cache) is shared by every plan the exploration simulates
+	// — across budgets, allocators (portfolio mode included) and kernels.
+	// The plan-level map above removes exact-duplicate plans outright; the
+	// fragment store below makes the residual unique plans cheap, since
+	// plans differing in a few β values share most of their fragments.
+	sim *sched.Simulator
 }
 
 type simKey struct {
@@ -40,18 +48,28 @@ type simEntry struct {
 	err  error
 }
 
-func newSimCache() *simCache { return &simCache{m: map[simKey]*simEntry{}} }
+func newSimCache(frag *simcache.Cache) *simCache {
+	return &simCache{m: map[simKey]*simEntry{}, sim: &sched.Simulator{Cache: frag}}
+}
 
 // simulate implements hls.SimFunc.
 func (c *simCache) simulate(kernel string, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (*sched.Result, error) {
 	key := simKey{kernel: kernel, plan: plan.Fingerprint(), lat: cfg.Lat.Fingerprint(), ports: cfg.PortsPerRAM}
 	c.mu.Lock()
 	e := c.m[key]
-	if e == nil {
+	claimed := e == nil
+	if claimed {
 		e = &simEntry{}
 		c.m[key] = e
 	}
 	c.mu.Unlock()
+	// Hit/miss counts are deterministic for a space: misses count distinct
+	// keys, never worker scheduling.
+	if claimed {
+		c.sim.Cache.PlanMiss()
+	} else {
+		c.sim.Cache.PlanHit()
+	}
 	e.once.Do(func() {
 		// A panic would consume the Once and leave (nil, nil) for every
 		// later claimant of the key; record it as the entry's error so all
@@ -61,10 +79,13 @@ func (c *simCache) simulate(kernel string, nest *ir.Nest, g *dfg.Graph, plan *sc
 				e.err = fmt.Errorf("simulation panic: %v", v)
 			}
 		}()
-		e.res, e.err = sched.SimulateGraph(nest, g, plan, cfg)
+		e.res, e.err = c.sim.SimulateGraph(nest, g, plan, cfg)
 	})
 	return e.res, e.err
 }
+
+// snapshot returns the combined per-stage cache counters.
+func (c *simCache) snapshot() simcache.Snapshot { return c.sim.Cache.Snapshot() }
 
 // simDirect is the cache-free hls.SimFunc: it wraps a simulation panic in
 // the same error the cache records, so NoSimCache output stays

@@ -10,6 +10,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/scalarrepl"
 	"repro/internal/sched"
+	"repro/internal/simcache"
 )
 
 // TestSimCachePanicDoesNotPoisonEntry: a simulation panic must be memoized
@@ -39,7 +40,7 @@ func TestSimCachePanicDoesNotPoisonEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := newSimCache()
+	c := newSimCache(simcache.New())
 	for call := 0; call < 2; call++ {
 		res, err := c.simulate(k.Name, &wider, g, plan, sched.DefaultConfig())
 		if res != nil || err == nil {

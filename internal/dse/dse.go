@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/hls"
+	"repro/internal/simcache"
 )
 
 // The engine also streams: ExploreStream/ExploreShardStream (stream.go)
@@ -61,6 +62,10 @@ type ResultSet struct {
 	// to len(Results) is the work the cross-point cache deduplicated; the
 	// count depends only on the space, never on worker scheduling.
 	UniqueSims int
+	// Cache holds the per-stage simulation-cache counters (entry
+	// fragments, class schedules, whole plans); for a merged sharded run
+	// it is the sum over the shard processes.
+	Cache simcache.Snapshot
 }
 
 // Ok returns the successful results, in point order.
@@ -103,6 +108,12 @@ type Engine struct {
 	// results are byte-identical either way, the cache only removes
 	// redundant work).
 	NoSimCache bool
+	// SimCacheDir, when non-empty (and the cache is enabled), backs the
+	// fragment/class-schedule store with one small file per entry in the
+	// given directory, so independent worker processes — the shards of one
+	// sweep — share simulation work through the filesystem (cross-shard
+	// dedup). The directory is created if absent.
+	SimCacheDir string
 	// Window caps the order-restoring window of the streaming entry
 	// points (ExploreStream/ExploreShardStream): at most Window results
 	// are dispatched-but-unemitted at any moment, so a slow head-of-line
@@ -150,19 +161,35 @@ func (e Engine) ExploreShard(sp Space, shardIndex, shardCount int) (*ResultSet, 
 	if err != nil {
 		return nil, err
 	}
-	return &ResultSet{Space: col.space, Results: col.rows, UniqueSims: st.UniqueSims}, nil
+	return &ResultSet{Space: col.space, Results: col.rows, UniqueSims: st.UniqueSims, Cache: st.Cache}, nil
+}
+
+// fragCache builds the fragment/class-schedule store one exploration's
+// simulator shares across all its plans: file-backed when SimCacheDir is
+// set, in-memory otherwise.
+func (e Engine) fragCache() (*simcache.Cache, error) {
+	if e.SimCacheDir != "" {
+		return simcache.NewDir(e.SimCacheDir)
+	}
+	return simcache.New(), nil
 }
 
 // evaluate estimates one design point, converting an estimator panic into
 // the point's error. Without the recover, a panicking allocator would kill
 // its worker goroutine with the index channel undrained, blocking the
-// producer send and deadlocking Explore's wg.Wait forever.
+// producer send and deadlocking Explore's wg.Wait forever. A portfolio
+// point runs every member allocator through the shared sim function and
+// keeps the best design.
 func evaluate(an *hls.Analysis, p Point, sim hls.SimFunc) (res Result) {
 	defer func() {
 		if v := recover(); v != nil {
 			res = Result{Point: p, Err: fmt.Errorf("estimator panic: %v", v)}
 		}
 	}()
+	if pf, ok := p.Allocator.(Portfolio); ok {
+		d, err := an.EstimatePortfolio(pf.Allocators, p.Options(), sim)
+		return Result{Point: p, Design: d, Err: err}
+	}
 	d, err := an.EstimateSim(p.Allocator, p.Options(), sim)
 	return Result{Point: p, Design: d, Err: err}
 }

@@ -1,0 +1,210 @@
+package dse
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPortfolioCollapsesAllocatorAxis checks point enumeration: one point
+// per (kernel, budget, device, sched), carrying the portfolio
+// pseudo-allocator.
+func TestPortfolioCollapsesAllocatorAxis(t *testing.T) {
+	sp := smallSpace()
+	sp.Portfolio = true
+	pts := sp.Points()
+	if len(pts) != 8 || sp.Size() != 8 {
+		t.Fatalf("portfolio space has %d points (Size %d), want 8", len(pts), sp.Size())
+	}
+	for _, p := range pts {
+		pf, ok := p.Allocator.(Portfolio)
+		if !ok {
+			t.Fatalf("point %s carries %T, want Portfolio", p.ID(), p.Allocator)
+		}
+		if len(pf.Allocators) != 2 {
+			t.Fatalf("portfolio carries %d members, want 2", len(pf.Allocators))
+		}
+	}
+	if pts[0].ID() != "figure1/portfolio/r32/XCV1000-BG560/default" {
+		t.Errorf("first point = %s", pts[0].ID())
+	}
+}
+
+// TestPortfolioPicksBestByObjective: every portfolio point must equal the
+// objective-best of the per-allocator designs the explicit axis produces —
+// same metrics, winner name among the members.
+func TestPortfolioPicksBestByObjective(t *testing.T) {
+	sp := smallSpace()
+	axis := mustExplore(t, Engine{}, sp)
+
+	pf := sp
+	pf.Portfolio = true
+	port := mustExplore(t, Engine{}, pf)
+
+	// Index axis results by (kernel, budget, device, sched).
+	type coord struct {
+		k, d, s string
+		b       int
+	}
+	byCoord := map[coord][]Result{}
+	for _, r := range axis.Results {
+		c := coord{k: r.Point.Kernel.Name, d: r.Point.Device.Name, s: r.Point.Sched.Name, b: r.Point.Budget}
+		byCoord[c] = append(byCoord[c], r)
+	}
+	memberNames := map[string]bool{}
+	for _, a := range sp.Allocators {
+		memberNames[a.Name()] = true
+	}
+	for _, r := range port.Results {
+		if !r.Ok() {
+			t.Fatalf("portfolio point %s failed: %v", r.Point.ID(), r.Err)
+		}
+		c := coord{k: r.Point.Kernel.Name, d: r.Point.Device.Name, s: r.Point.Sched.Name, b: r.Point.Budget}
+		cands := byCoord[c]
+		if len(cands) != len(sp.Allocators) {
+			t.Fatalf("%s: %d axis candidates, want %d", r.Point.ID(), len(cands), len(sp.Allocators))
+		}
+		var best Result
+		for _, cand := range cands {
+			if !cand.Ok() {
+				continue
+			}
+			if best.Design == nil {
+				best = cand
+				continue
+			}
+			d, bd := cand.Design, best.Design
+			if d.TimeUs < bd.TimeUs ||
+				(d.TimeUs == bd.TimeUs && d.Slices < bd.Slices) ||
+				(d.TimeUs == bd.TimeUs && d.Slices == bd.Slices && d.Registers < bd.Registers) {
+				best = cand
+			}
+		}
+		if best.Design == nil {
+			t.Fatalf("%s: no successful axis candidate", r.Point.ID())
+		}
+		got, want := r.Design, best.Design
+		if got.TimeUs != want.TimeUs || got.Cycles != want.Cycles || got.Slices != want.Slices ||
+			got.Registers != want.Registers || got.Algorithm != want.Algorithm {
+			t.Errorf("%s: portfolio picked %s (t=%.2f c=%d s=%d r=%d), objective best is %s (t=%.2f c=%d s=%d r=%d)",
+				r.Point.ID(), got.Algorithm, got.TimeUs, got.Cycles, got.Slices, got.Registers,
+				want.Algorithm, want.TimeUs, want.Cycles, want.Slices, want.Registers)
+		}
+		if !memberNames[got.Algorithm] {
+			t.Errorf("%s: winner %q is not a portfolio member", r.Point.ID(), got.Algorithm)
+		}
+	}
+}
+
+// TestPortfolioDeterministicAndCacheAgnostic: portfolio output must not
+// depend on worker count or on the simulation cache.
+func TestPortfolioDeterministicAndCacheAgnostic(t *testing.T) {
+	sp := smallSpace()
+	sp.Portfolio = true
+	render := func(e Engine) string {
+		rs := mustExplore(t, e, sp)
+		var buf bytes.Buffer
+		if err := (CSVReporter{Pareto: true}).Report(&buf, rs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	base := render(Engine{Workers: 1})
+	if got := render(Engine{Workers: 7}); got != base {
+		t.Error("portfolio output varies with worker count")
+	}
+	if got := render(Engine{NoSimCache: true}); got != base {
+		t.Error("portfolio output varies with the simulation cache")
+	}
+}
+
+// TestPortfolioSharesSimCache: the portfolio's member allocators must share
+// one plan-level cache — agreeing members cost one simulation, so the
+// unique-sim count of the portfolio run equals the explicit axis run's.
+func TestPortfolioSharesSimCache(t *testing.T) {
+	sp := smallSpace()
+	axis := mustExplore(t, Engine{}, sp)
+	pf := sp
+	pf.Portfolio = true
+	port := mustExplore(t, Engine{}, pf)
+	if port.UniqueSims != axis.UniqueSims {
+		t.Errorf("portfolio ran %d unique sims, explicit axis %d — cache not shared across members",
+			port.UniqueSims, axis.UniqueSims)
+	}
+	if port.Cache.PlanMisses != int64(port.UniqueSims) {
+		t.Errorf("plan misses %d != unique sims %d", port.Cache.PlanMisses, port.UniqueSims)
+	}
+}
+
+// TestPortfolioSpecRoundTrip: the portfolio flag must survive the
+// spec/fingerprint round trip and distinguish the space.
+func TestPortfolioSpecRoundTrip(t *testing.T) {
+	sp, err := smallSpace().normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Spec(sp)
+	sp.Portfolio = true
+	spec := Spec(sp)
+	if !spec.Portfolio {
+		t.Fatal("Spec dropped the portfolio flag")
+	}
+	if spec.Fingerprint() == plain.Fingerprint() {
+		t.Fatal("portfolio space shares a fingerprint with the plain space")
+	}
+	back, err := spec.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Portfolio {
+		t.Fatal("Space() dropped the portfolio flag")
+	}
+	if got := len(back.Points()); got != len(sp.Points()) {
+		t.Fatalf("round-tripped space has %d points, want %d", got, len(sp.Points()))
+	}
+}
+
+// TestSimCacheDirSharedAcrossRuns: a second engine over the same backing
+// directory must recover fragments and schedules from disk (the cross-shard
+// dedup mechanism) and produce byte-identical output.
+func TestSimCacheDirSharedAcrossRuns(t *testing.T) {
+	sp := smallSpace()
+	dir := t.TempDir()
+	render := func(e Engine) (string, StreamStats) {
+		var buf bytes.Buffer
+		st, err := e.ExploreStream(sp, CSVReporter{Pareto: true}.Stream(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), st
+	}
+	first, st1 := render(Engine{SimCacheDir: dir})
+	if st1.Cache.EntryMisses == 0 {
+		t.Fatalf("cold run computed no fragments: %+v", st1.Cache)
+	}
+	second, st2 := render(Engine{SimCacheDir: dir})
+	if second != first {
+		t.Error("file-backed cache changed the output bytes")
+	}
+	if st2.Cache.EntryMisses != 0 || st2.Cache.EntryDiskHits == 0 {
+		t.Errorf("warm run should serve fragments from disk: %+v", st2.Cache)
+	}
+	if st2.Cache.ClassMisses != 0 || st2.Cache.ClassDiskHits == 0 {
+		t.Errorf("warm run should serve class schedules from disk: %+v", st2.Cache)
+	}
+	memory, _ := render(Engine{})
+	if memory != first {
+		t.Error("file-backed output differs from in-memory output")
+	}
+}
+
+// TestPortfolioAllocateErrors: the pseudo-allocator must refuse direct use.
+func TestPortfolioAllocateErrors(t *testing.T) {
+	if _, err := (Portfolio{Allocators: core.All()}).Allocate(nil); err == nil {
+		t.Fatal("Portfolio.Allocate should error")
+	}
+	if (Portfolio{}).Name() != "portfolio" {
+		t.Fatal("unexpected portfolio name")
+	}
+}

@@ -118,9 +118,20 @@ func (c *csvStream) End(StreamStats) error {
 	return c.cw.Error()
 }
 
+// algoName returns the algorithm a result row reports: the design's own
+// algorithm when present — for portfolio points that is the winning
+// allocator; for ordinary points it equals the axis coordinate — falling
+// back to the point's allocator for failed rows.
+func algoName(r Result) string {
+	if r.Ok() && r.Design.Algorithm != "" {
+		return r.Design.Algorithm
+	}
+	return r.Point.Allocator.Name()
+}
+
 func csvRecord(r Result, pareto, onFrontier bool) []string {
 	p := r.Point
-	rec := []string{p.Kernel.Name, p.Allocator.Name(), strconv.Itoa(p.EffectiveBudget()), p.Device.Name, p.Sched.Name}
+	rec := []string{p.Kernel.Name, algoName(r), strconv.Itoa(p.EffectiveBudget()), p.Device.Name, p.Sched.Name}
 	if r.Ok() {
 		d := r.Design
 		rec = append(rec,
@@ -164,6 +175,7 @@ type jsonSpace struct {
 	Budgets    []int    `json:"budgets"`
 	Devices    []string `json:"devices"`
 	Scheds     []string `json:"scheds"`
+	Portfolio  bool     `json:"portfolio,omitempty"`
 }
 
 type jsonPoint struct {
@@ -233,7 +245,7 @@ func (s *jsonStream) fragment(v any, prefix string) ([]byte, error) {
 
 func (s *jsonStream) Begin(sp Space, total int) error {
 	s.sp = sp
-	js := jsonSpace{Budgets: sp.Budgets}
+	js := jsonSpace{Budgets: sp.Budgets, Portfolio: sp.Portfolio}
 	for _, k := range sp.Kernels {
 		js.Kernels = append(js.Kernels, k.Name)
 	}
@@ -307,7 +319,7 @@ func jsonPointOf(r Result) jsonPoint {
 	jp := jsonPoint{
 		ID:        p.ID(),
 		Kernel:    p.Kernel.Name,
-		Algorithm: p.Allocator.Name(),
+		Algorithm: algoName(r),
 		Rmax:      p.EffectiveBudget(),
 		Device:    p.Device.Name,
 		Sched:     p.Sched.Name,
@@ -368,7 +380,7 @@ func (t *tableStream) Point(r Result) error {
 	}
 	d := r.Design
 	_, err := fmt.Fprintf(t.w, "%-8s %-8s %5d %-16s %-10s %6d %10d %10.1f %9.1f %7d %6d\n",
-		p.Kernel.Name, p.Allocator.Name(), p.EffectiveBudget(), p.Device.Name, p.Sched.Name,
+		p.Kernel.Name, algoName(r), p.EffectiveBudget(), p.Device.Name, p.Sched.Name,
 		d.Registers, d.Cycles, d.ClockNs, d.TimeUs, d.Slices, d.RAMs)
 	return err
 }

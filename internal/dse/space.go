@@ -32,6 +32,30 @@ type Space struct {
 	Budgets    []int // register budgets; 0 = the kernel's own Rmax
 	Devices    []fpga.Device
 	Scheds     []SchedVariant
+	// Portfolio collapses the allocator axis: instead of one design point
+	// per allocator, each (kernel, budget, device, sched) combination is a
+	// single point that runs every allocator and keeps the best design by
+	// the objective order (time, slices, registers, allocator order). The
+	// winning allocator is recorded in the design's Algorithm field. All
+	// allocators of a point share the exploration's simulation caches.
+	Portfolio bool
+}
+
+// Portfolio is the pseudo-allocator occupying the allocator coordinate of
+// portfolio-mode design points. It is resolved per point by the engine
+// (hls.Analysis.EstimatePortfolio); its Allocate method exists only to
+// satisfy core.Allocator and always errors.
+type Portfolio struct {
+	Allocators []core.Allocator
+}
+
+// Name implements core.Allocator.
+func (Portfolio) Name() string { return "portfolio" }
+
+// Allocate implements core.Allocator; a portfolio cannot be resolved at
+// allocation level (picking the winner needs the simulated design).
+func (Portfolio) Allocate(*core.Problem) (*core.Allocation, error) {
+	return nil, fmt.Errorf("dse: the portfolio allocator is resolved per design point by the engine")
 }
 
 // DefaultSpace is the full stock exploration: the six Table-1 kernels ×
@@ -82,9 +106,21 @@ func (sp Space) normalized() (Space, error) {
 
 // Size returns the number of design points of the cross-product. Like
 // Points, it takes the axes as declared: an empty axis yields zero points
-// (normalization is what fills singleton defaults).
+// (normalization is what fills singleton defaults). In portfolio mode the
+// allocator axis contributes a single coordinate however many allocators
+// compete.
 func (sp Space) Size() int {
-	return len(sp.Kernels) * len(sp.Allocators) * len(sp.Budgets) * len(sp.Devices) * len(sp.Scheds)
+	return len(sp.Kernels) * len(sp.allocAxis()) * len(sp.Budgets) * len(sp.Devices) * len(sp.Scheds)
+}
+
+// allocAxis returns the allocator coordinates Points enumerates: the
+// declared allocators, or the single portfolio pseudo-allocator wrapping
+// them in portfolio mode.
+func (sp Space) allocAxis() []core.Allocator {
+	if !sp.Portfolio || len(sp.Allocators) == 0 {
+		return sp.Allocators
+	}
+	return []core.Allocator{Portfolio{Allocators: sp.Allocators}}
 }
 
 // Point is one design point: one coordinate along every axis. Index is the
@@ -126,7 +162,7 @@ func (p Point) ID() string {
 func (sp Space) Points() []Point {
 	pts := make([]Point, 0, sp.Size())
 	for _, k := range sp.Kernels {
-		for _, alg := range sp.Allocators {
+		for _, alg := range sp.allocAxis() {
 			for _, b := range sp.Budgets {
 				for _, dev := range sp.Devices {
 					for _, sv := range sp.Scheds {

@@ -64,13 +64,18 @@ type SpaceSpec struct {
 	Budgets    []int       `json:"budgets"`
 	Devices    []string    `json:"devices"`
 	Scheds     []SchedSpec `json:"scheds"`
+	// Portfolio mirrors Space.Portfolio. omitempty keeps the encoding —
+	// and so the space fingerprint and shard compatibility — unchanged for
+	// ordinary sweeps; a portfolio sweep is a different space (different
+	// point set), so its fingerprint must differ.
+	Portfolio bool `json:"portfolio,omitempty"`
 }
 
 // Spec extracts the portable spec of a space. Pass a normalized space
 // (Explore's entry points hand reporters one): empty axes do not resolve
 // back.
 func Spec(sp Space) SpaceSpec {
-	var s SpaceSpec
+	s := SpaceSpec{Portfolio: sp.Portfolio}
 	for _, k := range sp.Kernels {
 		s.Kernels = append(s.Kernels, k.Name)
 	}
@@ -95,7 +100,7 @@ func (s SpaceSpec) Space() (Space, error) {
 		len(s.Devices) == 0 || len(s.Scheds) == 0 {
 		return Space{}, fmt.Errorf("dse: space spec has an empty axis (want all of kernels, allocators, budgets, devices, scheds)")
 	}
-	var sp Space
+	sp := Space{Portfolio: s.Portfolio}
 	for _, name := range s.Kernels {
 		k, err := kernels.ByName(name)
 		if err != nil {

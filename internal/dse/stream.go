@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/hls"
+	"repro/internal/simcache"
 )
 
 // StreamReporter consumes one exploration's results in canonical point
@@ -33,6 +34,11 @@ type StreamStats struct {
 	// UniqueSims is the number of distinct cycle simulations run (0 when
 	// the simulation cache was disabled), as on ResultSet.
 	UniqueSims int
+	// Cache holds the per-stage cache counters of the run — entry
+	// fragments, class schedules and whole-plan simulations (zero when the
+	// simulation cache was disabled). Disk-hit counters are only non-zero
+	// for file-backed runs (Engine.SimCacheDir).
+	Cache simcache.Snapshot
 	// MaxWindow is the peak number of completed-but-unemitted results the
 	// order-restoring window held — bounded by Engine.Window, and the
 	// memory high-water mark of the streaming path.
@@ -97,7 +103,11 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 	sim := hls.SimFunc(simDirect)
 	var cache *simCache
 	if !e.NoSimCache {
-		cache = newSimCache()
+		frag, err := e.fragCache()
+		if err != nil {
+			return StreamStats{}, err
+		}
+		cache = newSimCache(frag)
 		sim = cache.simulate
 	}
 
@@ -185,6 +195,7 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 	}
 	if cache != nil {
 		st.UniqueSims = cache.size()
+		st.Cache = cache.snapshot()
 	}
 	if err := sr.End(st); err != nil {
 		return st, err

@@ -7,6 +7,7 @@ package hls
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dfg"
@@ -155,6 +156,57 @@ func (an *Analysis) EstimateSim(alg core.Allocator, opt Options, sim SimFunc) (*
 	}
 	d.TimeUs = float64(d.Cycles) * d.ClockNs / 1000.0
 	return d, nil
+}
+
+// EstimatePortfolio evaluates the design point under every allocator in
+// algs and returns the best design by the objective order: lowest
+// wall-clock time, then fewest slices, then fewest registers, then the
+// earlier allocator in list order — a deterministic total order, so
+// portfolio sweeps are reproducible whatever the evaluation schedule. All
+// candidates run through the same sim function, so a sweep's simulation
+// caches are shared across the whole portfolio (allocators frequently
+// agree on β for part of the space, and even disagreeing plans share
+// per-entry fragments). Per-allocator failures (infeasible budget, device
+// capacity) only fail the point when every allocator fails.
+func (an *Analysis) EstimatePortfolio(algs []core.Allocator, opt Options, sim SimFunc) (*Design, error) {
+	if len(algs) == 0 {
+		return nil, fmt.Errorf("hls: %s: empty allocator portfolio", an.Kernel.Name)
+	}
+	var best *Design
+	var msgs []string
+	seen := map[string]bool{}
+	for _, alg := range algs {
+		d, err := an.EstimateSim(alg, opt, sim)
+		if err != nil {
+			// Deduplicated, "; "-joined single line: the error lands in
+			// line-oriented reports (table rows, CSV fields), and members
+			// usually fail identically (e.g. one infeasible budget).
+			if msg := err.Error(); !seen[msg] {
+				seen[msg] = true
+				msgs = append(msgs, msg)
+			}
+			continue
+		}
+		if best == nil || betterDesign(d, best) {
+			best = d
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("hls: %s: every portfolio allocator failed: %s", an.Kernel.Name, strings.Join(msgs, "; "))
+	}
+	return best, nil
+}
+
+// betterDesign reports whether a strictly precedes b in the portfolio
+// objective order (time, slices, registers); ties keep the incumbent.
+func betterDesign(a, b *Design) bool {
+	if a.TimeUs != b.TimeUs {
+		return a.TimeUs < b.TimeUs
+	}
+	if a.Slices != b.Slices {
+		return a.Slices < b.Slices
+	}
+	return a.Registers < b.Registers
 }
 
 // designStats derives the area/clock model inputs from the pipeline state.

@@ -299,6 +299,25 @@ func (p *Plan) Fingerprint() string {
 	return b.String()
 }
 
+// ReplayFingerprint returns the content-addressed identity of the entry's
+// register<->RAM transfer replay: coverage, reuse level, and the flat
+// element index as an affine form over the nest's loops by depth (constant
+// first, then one coefficient per loop, outermost first). Together with the
+// nest's loop bounds and the entry's body access pattern this determines
+// the replay's loads and stores exactly — the per-entry state (residency
+// window, dirty set, region boundaries) reads nothing else — so simulation
+// caches can share one replay among the plans of any kernel whose entries
+// agree on it. Names (array, loop variables) are deliberately absent: the
+// replay is invariant under renaming.
+func (e *Entry) ReplayFingerprint(nest *ir.Nest) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c%d,l%d,k%d", e.Coverage, e.Info.ReuseLevel, e.flatAff.Const)
+	for _, l := range nest.Loops {
+		fmt.Fprintf(&b, ",%d", e.flatAff.Coeff(l.Var))
+	}
+	return b.String()
+}
+
 // TotalRegisters sums β across the plan (diagnostic).
 func (p *Plan) TotalRegisters() int {
 	t := 0

@@ -1,0 +1,379 @@
+package sched
+
+// fragment.go is the compositional simulation engine: instead of one
+// monolithic walk of the iteration space per plan (iterWalker, kept as the
+// differential oracle), a plan's cycle estimate is assembled from
+// independent, content-addressed pieces —
+//
+//   - class weights are computed analytically: an iteration's class is a
+//     pure function of its innermost position (scalarrepl.Entry.HitInner),
+//     so each innermost position's signature is counted once and weighted
+//     by the outer trip product — no walk at all;
+//
+//   - each covered entry's register<->RAM transfer replay is an
+//     independent automaton (its own residency window, dirty set and
+//     region boundaries — entries never interact), so its loads/stores are
+//     computed per entry. And because the elements an affine reference
+//     touches in one reuse region are a translate of those in any other —
+//     translation preserves both element identity and the smallest-flat
+//     eviction order — every region replays identically: one region
+//     sub-space walk (loops at and below the reuse level), multiplied by
+//     the region count, is exact. Cost is Π trips of the loops inside the
+//     reuse level, not the whole iteration space;
+//
+//   - each class is list-scheduled once per (DFG, scheduler config,
+//     register-hit set), shared across every plan and allocator that
+//     produces the class.
+//
+// With a simcache.Cache attached, fragments and class schedules are
+// memoized across plans (and, file-backed, across processes): a plan
+// differing from an already-simulated one in a single reference's β
+// recomputes exactly that entry's fragment and any genuinely new class
+// schedules — everything else is assembled from the store in
+// o(iteration-space) time.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/ir"
+	"repro/internal/scalarrepl"
+	"repro/internal/simcache"
+)
+
+// Simulator runs compositional cycle simulations, optionally memoizing
+// entry fragments and class schedules in a shared cache. The zero value
+// (nil Cache) computes every piece directly and is what the package-level
+// SimulateGraph uses; sweep engines attach a cache shared across all their
+// plans. Safe for concurrent use.
+type Simulator struct {
+	// Cache memoizes entry fragments and class-schedule lengths across
+	// simulations; nil disables memoization (results are identical either
+	// way — the cache only removes redundant work).
+	Cache *simcache.Cache
+}
+
+// SimulateGraph runs the compositional cycle simulation of the nest under
+// the plan on a prebuilt (and already validated) body data-flow graph. The
+// graph is only read, so one graph can back any number of concurrent
+// simulations. The Result is identical — field for field — to the fused
+// single-pass walker's (see seedref_test.go and fragment_test.go for the
+// differential contracts).
+func (s *Simulator) SimulateGraph(nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg Config) (*Result, error) {
+	if cfg.PortsPerRAM < 1 {
+		return nil, fmt.Errorf("sched: PortsPerRAM must be ≥1, got %d", cfg.PortsPerRAM)
+	}
+	order := plan.Order()
+	depth := nest.Depth()
+
+	// Per-entry innermost hit vectors: the shared input of the analytic
+	// class weights and the per-entry replays.
+	hitAt := innerHitVectors(nest, order)
+	trip := 0
+	if depth > 0 {
+		trip = nest.Loops[depth-1].Trip()
+	}
+	counts := classWeights(nest, order, hitAt, trip)
+
+	// Transfer traffic: the sum of the covered entries' replay fragments.
+	pats := accessPatterns(nest, plan)
+	loads, stores := 0, 0
+	nestFP := ""
+	for i, e := range order {
+		if e.Coverage == 0 {
+			continue
+		}
+		pat := pats[e.Info.Key()]
+		var frag simcache.Fragment
+		if s.Cache != nil {
+			if nestFP == "" {
+				nestFP = nestFingerprint(nest)
+			}
+			i := i
+			var err error
+			frag, err = s.Cache.Fragment(fragmentKey(nestFP, nest, e, pat), func() (simcache.Fragment, error) {
+				return computeFragment(nest, e, pat, hitAt[i]), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			frag = computeFragment(nest, e, pat, hitAt[i])
+		}
+		loads += frag.Loads
+		stores += frag.Stores
+	}
+
+	return assembleResult(g, plan, cfg, counts, loads, stores, s.classLen(g, cfg))
+}
+
+// classLen returns the class-length function: memoized per (DFG
+// fingerprint, scheduler config, register-hit set) when a cache is
+// attached, direct scheduling otherwise.
+func (s *Simulator) classLen(g *dfg.Graph, cfg Config) classLenFunc {
+	direct := func(hit map[string]bool) (int, int, error) {
+		iter, err := scheduleClass(g, hit, cfg, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		mem, err := scheduleClass(g, hit, cfg, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		return iter, mem, nil
+	}
+	if s.Cache == nil {
+		return func(_ string, hit map[string]bool, _ []*scalarrepl.Entry) (int, int, error) {
+			return direct(hit)
+		}
+	}
+	prefix := g.Fingerprint() + "|" + cfg.Lat.Fingerprint() + "|P" + fmt.Sprint(cfg.PortsPerRAM) + "|"
+	return func(sig string, hit map[string]bool, order []*scalarrepl.Entry) (int, int, error) {
+		// The hit set in first-use entry order is canonical: all plans of
+		// one nest list entries identically, and across nests the DFG
+		// fingerprint already differs.
+		var b strings.Builder
+		for i, e := range order {
+			if sig[i] == '1' {
+				b.WriteString(e.Info.Key())
+				b.WriteByte(',')
+			}
+		}
+		cl, err := s.Cache.ClassLen(prefix+b.String(), func() (simcache.ClassLen, error) {
+			iter, mem, err := direct(hit)
+			return simcache.ClassLen{Iter: iter, Mem: mem}, err
+		})
+		return cl.Iter, cl.Mem, err
+	}
+}
+
+// classWeights computes the iteration-class weights analytically: the class
+// of an iteration depends only on its innermost position, and every
+// innermost position occurs exactly once per combination of outer loop
+// values. Only classes with a positive count are returned (zero-trip nests
+// yield none), matching the walkers' filtered output exactly.
+func classWeights(nest *ir.Nest, order []*scalarrepl.Entry, hitAt [][]bool, trip int) map[string]int {
+	counts := map[string]int{}
+	if nest.Depth() == 0 {
+		// Depth-0 nests execute one (empty-environment) iteration with an
+		// all-miss signature, mirroring the seed walker.
+		counts[strings.Repeat("0", len(order))] = 1
+		return counts
+	}
+	outer := 1
+	for _, l := range nest.Loops[:nest.Depth()-1] {
+		outer *= l.Trip()
+	}
+	if outer == 0 {
+		return counts
+	}
+	sig := make([]byte, len(order))
+	for pos := 0; pos < trip; pos++ {
+		for i := range order {
+			if hitAt[i][pos] {
+				sig[i] = '1'
+			} else {
+				sig[i] = '0'
+			}
+		}
+		counts[string(sig)] += outer
+	}
+	return counts
+}
+
+// innerHitVectors precomputes, per plan entry, the steady-state register
+// hit outcome at each innermost loop position — the single input both the
+// compositional engine and the fused walker oracle classify iterations
+// and gate replays with. Nil for depth-0 nests.
+func innerHitVectors(nest *ir.Nest, order []*scalarrepl.Entry) [][]bool {
+	depth := nest.Depth()
+	if depth == 0 {
+		return nil
+	}
+	inner := nest.Loops[depth-1]
+	hitAt := make([][]bool, len(order))
+	for i, e := range order {
+		hitAt[i] = make([]bool, inner.Trip())
+		pos := 0
+		for v := inner.Lo; v < inner.Hi; v += inner.Step {
+			hitAt[i][pos] = e.HitInner(v)
+			pos++
+		}
+	}
+	return hitAt
+}
+
+// accessPatterns collects, for every covered plan entry, its occurrence
+// pattern: one flag per body occurrence of the reference, in body order,
+// true for writes. The pattern is the only thing the replay reads from the
+// loop body (occurrences of one static reference share one affine form).
+func accessPatterns(nest *ir.Nest, plan *scalarrepl.Plan) map[string][]bool {
+	covered := map[string]bool{}
+	for _, e := range plan.Order() {
+		if e.Coverage > 0 {
+			covered[e.Info.Key()] = true
+		}
+	}
+	if len(covered) == 0 {
+		return nil
+	}
+	pats := make(map[string][]bool, len(covered))
+	for _, st := range nest.Body {
+		ir.WalkExpr(st.RHS, func(ex ir.Expr) {
+			if r, ok := ex.(*ir.ArrayRef); ok && covered[r.Key()] {
+				pats[r.Key()] = append(pats[r.Key()], false)
+			}
+		})
+		if covered[st.LHS.Key()] {
+			pats[st.LHS.Key()] = append(pats[st.LHS.Key()], true)
+		}
+	}
+	return pats
+}
+
+// nestFingerprint pins the loop bounds the replay iterates over. Loop
+// variable names are deliberately absent (the replay reads coefficients by
+// depth), so structurally identical nests share fragments.
+func nestFingerprint(nest *ir.Nest) string {
+	var b strings.Builder
+	for _, l := range nest.Loops {
+		fmt.Fprintf(&b, "%d:%d:%d;", l.Lo, l.Hi, l.Step)
+	}
+	return b.String()
+}
+
+// fragmentKey is the content address of one entry's replay: loop bounds ×
+// entry replay fingerprint × body occurrence pattern.
+func fragmentKey(nestFP string, nest *ir.Nest, e *scalarrepl.Entry, pattern []bool) string {
+	var b strings.Builder
+	b.WriteString(nestFP)
+	b.WriteByte('|')
+	b.WriteString(e.ReplayFingerprint(nest))
+	b.WriteByte('|')
+	for _, w := range pattern {
+		if w {
+			b.WriteByte('w')
+		} else {
+			b.WriteByte('r')
+		}
+	}
+	return b.String()
+}
+
+// computeFragment replays one covered entry's transfer protocol exactly,
+// in far less than one pass over the iteration space:
+//
+//   - regions: register state persists within a reuse region and is
+//     flushed across boundaries, and the elements an affine reference
+//     touches in one region are a translate of any other's — translation
+//     preserves element identity and smallest-flat eviction order — so one
+//     region's replay scaled by the region count is exact. Cost drops from
+//     the whole space to one region sub-space (loops at and below the
+//     reuse level, outer loops pinned to their lower bounds).
+//
+//   - steady state: walk loops (other than the innermost, whose position
+//     drives the hit vector) whose variable has zero coefficient in the
+//     entry's flat-index form repeat an identical access sequence every
+//     iteration. The replay automaton is deterministic, so its state
+//     (resident set + dirty bits) over those repetitions is eventually
+//     periodic: the leading zero-coefficient loops are collapsed by
+//     replaying until the state recurs and extrapolating the cycle —
+//     typically one or two repetitions instead of thousands (an
+//     image-template or loop-invariant reference re-reads the same window
+//     under every outer iteration).
+//
+// Eviction picks the smallest resident flat; a min-heap mirror of the
+// resident set makes that O(log coverage) instead of a linear scan.
+func computeFragment(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, hitAt []bool) simcache.Fragment {
+	depth := nest.Depth()
+	level := e.Info.ReuseLevel
+	if level < 0 {
+		level = 0
+	}
+	regions := 1
+	for _, l := range nest.Loops[:level] {
+		regions *= l.Trip()
+	}
+	if regions == 0 || len(pattern) == 0 {
+		return simcache.Fragment{}
+	}
+	aff := e.FlatAffine()
+	base := aff.Const
+	coef := make([]int, depth)
+	for d, l := range nest.Loops {
+		coef[d] = aff.Coeff(l.Var)
+		if d < level {
+			base += coef[d] * l.Lo
+		}
+	}
+	// Collapse the leading zero-coefficient walk loops into a repetition
+	// count. The innermost loop always stays in the walked body: the hit
+	// vector varies with its position even when the flat index does not.
+	reps := 1
+	start := level
+	for start < depth-1 && coef[start] == 0 {
+		reps *= nest.Loops[start].Trip()
+		start++
+	}
+	if reps == 0 {
+		return simcache.Fragment{}
+	}
+
+	st := newReplay(e.Coverage)
+	// rep runs the walked body (loops start..depth-1) once.
+	var walk func(d, flat int)
+	walk = func(d, flat int) {
+		l := nest.Loops[d]
+		if d == depth-1 {
+			pos := 0
+			for v := l.Lo; v < l.Hi; v += l.Step {
+				if hitAt[pos] {
+					f := flat + coef[d]*v
+					for _, w := range pattern {
+						st.access(f, w)
+					}
+				}
+				pos++
+			}
+			return
+		}
+		for v := l.Lo; v < l.Hi; v += l.Step {
+			walk(d+1, flat+coef[d]*v)
+		}
+	}
+
+	// Replay repetitions with cycle detection over the automaton state.
+	// cumL/cumS/dirtyAt[r] describe the state after r repetitions; a
+	// recurrence s_i == s_r makes the remainder periodic with period r-i.
+	cumL := []int{0}
+	cumS := []int{0}
+	dirtyAt := []int{0}
+	seen := map[string]int{st.signature(): 0}
+	loads, stores, finalDirty := 0, 0, 0
+	for r := 1; ; r++ {
+		walk(start, base)
+		cumL = append(cumL, st.loads)
+		cumS = append(cumS, st.stores)
+		dirtyAt = append(dirtyAt, st.dirtyCount())
+		if r == reps {
+			loads, stores, finalDirty = cumL[r], cumS[r], dirtyAt[r]
+			break
+		}
+		sig := st.signature()
+		if i, ok := seen[sig]; ok {
+			cycle := r - i
+			n := (reps - i) / cycle
+			tail := (reps - i) % cycle
+			loads = cumL[i] + n*(cumL[r]-cumL[i]) + (cumL[i+tail] - cumL[i])
+			stores = cumS[i] + n*(cumS[r]-cumS[i]) + (cumS[i+tail] - cumS[i])
+			finalDirty = dirtyAt[i+tail]
+			break
+		}
+		seen[sig] = r
+	}
+	// The region-end flush writes back whatever is dirty after the last
+	// repetition.
+	stores += finalDirty
+	return simcache.Fragment{Loads: regions * loads, Stores: regions * stores}
+}

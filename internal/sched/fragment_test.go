@@ -1,0 +1,223 @@
+package sched
+
+// Differential contracts of the compositional engine (fragment.go): the
+// fragment-assembled Result must equal, field for field, both the fused
+// single-pass walker's and the seed two-pass reference's — with and
+// without a shared cache, across every Table-1 kernel and allocator,
+// random nests, and random single-β plan perturbations (the exact case the
+// cross-plan fragment reuse must get right: one entry changes, everything
+// else is served from the store).
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/kernels"
+	"repro/internal/reuse"
+	"repro/internal/scalarrepl"
+	"repro/internal/simcache"
+)
+
+// checkThreeWay asserts compositional (with the given shared cache and
+// without any cache) == fused == seed reference for one (nest, plan, cfg).
+func checkThreeWay(t *testing.T, label string, cache *simcache.Cache, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg Config) {
+	t.Helper()
+	want, err := simulateReference(nest, plan, cfg)
+	if err != nil {
+		t.Fatalf("%s: seed reference: %v", label, err)
+	}
+	fused, err := simulateFused(nest, g, plan, cfg)
+	if err != nil {
+		t.Fatalf("%s: fused: %v", label, err)
+	}
+	if !reflect.DeepEqual(fused, want) {
+		t.Fatalf("%s: fused diverges from seed\n got %+v\nwant %+v", label, fused, want)
+	}
+	plain, err := (&Simulator{}).SimulateGraph(nest, g, plan, cfg)
+	if err != nil {
+		t.Fatalf("%s: compositional: %v", label, err)
+	}
+	if !reflect.DeepEqual(plain, want) {
+		t.Fatalf("%s: compositional (no cache) diverges from seed\n got %+v\nwant %+v", label, plain, want)
+	}
+	cached, err := (&Simulator{Cache: cache}).SimulateGraph(nest, g, plan, cfg)
+	if err != nil {
+		t.Fatalf("%s: compositional cached: %v", label, err)
+	}
+	if !reflect.DeepEqual(cached, want) {
+		t.Fatalf("%s: compositional (shared cache) diverges from seed\n got %+v\nwant %+v", label, cached, want)
+	}
+}
+
+// TestFragmentSimMatchesOraclesOnKernels runs the three-way differential
+// over every Table-1 kernel and allocator with ONE cache shared across all
+// of them — cross-plan and cross-kernel fragment reuse must never leak a
+// stale value into a different plan.
+func TestFragmentSimMatchesOraclesOnKernels(t *testing.T) {
+	cache := simcache.New()
+	for _, k := range append(kernels.All(), kernels.Figure1()) {
+		if testing.Short() && k.Nest.IterationCount() > 100000 {
+			continue
+		}
+		g, err := dfg.Build(k.Nest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		for _, plan := range referencePlans(t, k.Nest, k.Rmax, cfg.Lat) {
+			checkThreeWay(t, k.Name, cache, k.Nest, g, plan, cfg)
+		}
+	}
+}
+
+// TestFragmentSimMatchesOraclesOnRandomNests extends the differential to
+// random programs and scheduler configurations, still sharing one cache.
+func TestFragmentSimMatchesOraclesOnRandomNests(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	cache := simcache.New()
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < trials; trial++ {
+		nest := irgen.Nest(rng, irgen.Config{})
+		g, err := dfg.Build(nest)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
+		}
+		infos, err := reuse.Analyze(nest)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
+		}
+		beta := map[string]int{}
+		for _, inf := range infos {
+			beta[inf.Key()] = 1 + rng.Intn(inf.Nu+2)
+		}
+		plan, err := scalarrepl.NewPlan(nest, infos, beta)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
+		}
+		cfg := DefaultConfig()
+		cfg.Lat.Mem = 1 + rng.Intn(3)
+		cfg.PortsPerRAM = 1 + rng.Intn(2)
+		checkThreeWay(t, nest.Name, cache, nest, g, plan, cfg)
+	}
+}
+
+// TestFragmentSimSingleBetaPerturbations drives the incremental case the
+// caches exist for: simulate a base plan (warming the store), then flip one
+// reference's β at a time and re-simulate. Each perturbed plan shares every
+// unchanged entry's fragment with the base — the result must still match
+// the seed reference exactly, and unchanged entries must not recompute.
+func TestFragmentSimSingleBetaPerturbations(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 5
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < trials; trial++ {
+		nest := irgen.Nest(rng, irgen.Config{})
+		g, err := dfg.Build(nest)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
+		}
+		infos, err := reuse.Analyze(nest)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
+		}
+		base := map[string]int{}
+		for _, inf := range infos {
+			base[inf.Key()] = 1 + rng.Intn(inf.Nu+2)
+		}
+		basePlan, err := scalarrepl.NewPlan(nest, infos, base)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
+		}
+		cache := simcache.New()
+		cfg := DefaultConfig()
+		checkThreeWay(t, "base", cache, nest, g, basePlan, cfg)
+
+		for _, inf := range infos {
+			for _, delta := range []int{-1, 1, inf.Nu} {
+				b := base[inf.Key()] + delta
+				if b < 1 {
+					continue
+				}
+				beta := map[string]int{}
+				for k, v := range base {
+					beta[k] = v
+				}
+				beta[inf.Key()] = b
+				plan, err := scalarrepl.NewPlan(nest, infos, beta)
+				if err != nil {
+					t.Fatalf("trial %d: %v\n%s", trial, err, nest)
+				}
+				checkThreeWay(t, "perturbed "+inf.Key(), cache, nest, g, plan, cfg)
+			}
+		}
+	}
+}
+
+// TestFragmentCacheReusesUnchangedEntries pins the reuse claim down with
+// counters: re-simulating the same plan computes nothing new, and a
+// single-β perturbation recomputes at most the perturbed entry's fragment
+// (plus any genuinely new class schedules).
+func TestFragmentCacheReusesUnchangedEntries(t *testing.T) {
+	k := kernels.FIR()
+	g, err := dfg.Build(k.Nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := reuse.Analyze(k.Nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := map[string]int{}
+	for _, inf := range infos {
+		beta[inf.Key()] = max(2, inf.Nu/2)
+	}
+	plan, err := scalarrepl.NewPlan(k.Nest, infos, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := simcache.New()
+	sim := &Simulator{Cache: cache}
+	if _, err := sim.SimulateGraph(k.Nest, g, plan, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	warm := cache.Snapshot()
+	if warm.EntryMisses == 0 {
+		t.Fatalf("expected fragment computations on a cold cache, got %+v", warm)
+	}
+
+	// Identical plan again: zero new computations of any kind.
+	if _, err := sim.SimulateGraph(k.Nest, g, plan, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	again := cache.Snapshot()
+	if again.EntryMisses != warm.EntryMisses || again.ClassMisses != warm.ClassMisses {
+		t.Fatalf("re-simulating an identical plan recomputed fragments: %+v -> %+v", warm, again)
+	}
+	if again.EntryHits <= warm.EntryHits {
+		t.Fatalf("re-simulating an identical plan did not hit the fragment cache: %+v -> %+v", warm, again)
+	}
+
+	// Single-β perturbation: at most one new fragment.
+	pert := infos[0]
+	beta[pert.Key()]++
+	plan2, err := scalarrepl.NewPlan(k.Nest, infos, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.SimulateGraph(k.Nest, g, plan2, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Snapshot()
+	if got := after.EntryMisses - again.EntryMisses; got > 1 {
+		t.Fatalf("single-β perturbation recomputed %d fragments, want ≤ 1 (%+v -> %+v)", got, again, after)
+	}
+}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// replay is the transfer-protocol automaton of one covered entry: which
+// window elements are register-resident, which of those are dirty, and the
+// transfer traffic so far. Semantics match the fused walker's xferFile
+// exactly — first touch loads (reads only), capacity eviction of the
+// smallest resident flat (write-back when dirty), flush on demand — with
+// the resident set mirrored in a min-heap so eviction is O(log coverage)
+// instead of a scan.
+type replay struct {
+	capacity      int
+	dirty         map[int]bool
+	heap          []int // min-heap over the resident flats
+	loads, stores int
+}
+
+func newReplay(capacity int) *replay {
+	return &replay{capacity: capacity, dirty: make(map[int]bool, capacity)}
+}
+
+// access replays one body occurrence (w = write) against the file.
+func (r *replay) access(flat int, w bool) {
+	if _, resident := r.dirty[flat]; !resident {
+		if len(r.dirty) >= r.capacity {
+			victim := r.popMin()
+			if r.dirty[victim] {
+				r.stores++
+			}
+			delete(r.dirty, victim)
+		}
+		if !w {
+			r.loads++
+		}
+		r.dirty[flat] = false
+		r.push(flat)
+	}
+	if w {
+		r.dirty[flat] = true
+	}
+}
+
+// dirtyCount returns how many resident elements a flush would write back.
+func (r *replay) dirtyCount() int {
+	n := 0
+	for _, d := range r.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// signature renders the automaton state (resident flats with dirty bits)
+// canonically, for cycle detection. Transfer counters are excluded — they
+// are outputs, not state.
+func (r *replay) signature() string {
+	flats := make([]int, 0, len(r.dirty))
+	for f := range r.dirty {
+		flats = append(flats, f)
+	}
+	sort.Ints(flats)
+	var b strings.Builder
+	for _, f := range flats {
+		b.WriteString(strconv.Itoa(f))
+		if r.dirty[f] {
+			b.WriteByte('*')
+		}
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// push inserts a flat into the heap. The caller only pushes flats absent
+// from the resident set, so heap contents always equal the map keys.
+func (r *replay) push(f int) {
+	r.heap = append(r.heap, f)
+	i := len(r.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if r.heap[p] <= r.heap[i] {
+			break
+		}
+		r.heap[p], r.heap[i] = r.heap[i], r.heap[p]
+		i = p
+	}
+}
+
+// popMin removes and returns the smallest resident flat.
+func (r *replay) popMin() int {
+	top := r.heap[0]
+	last := len(r.heap) - 1
+	r.heap[0] = r.heap[last]
+	r.heap = r.heap[:last]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		s := i
+		if l < last && r.heap[l] < r.heap[s] {
+			s = l
+		}
+		if rt < last && r.heap[rt] < r.heap[s] {
+			s = rt
+		}
+		if s == i {
+			break
+		}
+		r.heap[i], r.heap[s] = r.heap[s], r.heap[i]
+		i = s
+	}
+	return top
+}

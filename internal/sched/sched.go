@@ -1,9 +1,13 @@
 // Package sched turns a storage plan into cycle counts: it schedules the
 // loop body's data-flow graph per iteration class (ASAP list scheduling
-// with per-RAM port constraints), walks the iteration space once — a fused
-// pass that simultaneously weights the classes and accounts the
-// register<->RAM transfer traffic at reuse region boundaries (iterWalker)
-// — and prices the cold-start/epilogue overhead.
+// with per-RAM port constraints), weights the classes analytically from the
+// per-entry innermost hit vectors, replays each covered entry's
+// register<->RAM transfer traffic over one reuse region and scales by the
+// region count (fragment.go — the whole estimate is a composition of
+// independent per-entry and per-class pieces, memoizable across plans via
+// internal/simcache), and prices the cold-start/epilogue overhead. The
+// seed's fused full-space walker (iterWalker) is retained as a
+// differential oracle.
 //
 // Two cycle metrics are produced per iteration class and summed:
 //
@@ -22,7 +26,6 @@
 package sched
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/dfg"
@@ -105,18 +108,30 @@ func Simulate(nest *ir.Nest, plan *scalarrepl.Plan, cfg Config) (*Result, error)
 }
 
 // SimulateGraph runs the cycle-level simulation of the nest under the plan
-// on a prebuilt (and already validated) body data-flow graph. One fused
-// pass over the iteration space weights the iteration classes and replays
-// the register<->RAM transfer protocol (see iterWalker); each class is then
-// list-scheduled once. The graph is only read, so one graph can back any
-// number of concurrent simulations.
+// on a prebuilt (and already validated) body data-flow graph. The estimate
+// is assembled compositionally (see fragment.go): class weights come
+// analytically from the per-entry innermost hit vectors, each covered
+// entry's transfer traffic from an independent one-region replay scaled by
+// its region count, and each iteration class is list-scheduled once. The
+// graph is only read, so one graph can back any number of concurrent
+// simulations. Sweeps that simulate many related plans should share a
+// Simulator with a simcache.Cache instead, which additionally memoizes the
+// fragments and schedules across plans.
 func SimulateGraph(nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg Config) (*Result, error) {
-	if cfg.PortsPerRAM < 1 {
-		return nil, fmt.Errorf("sched: PortsPerRAM must be ≥1, got %d", cfg.PortsPerRAM)
-	}
-	w := newIterWalker(nest, plan)
-	w.run()
+	return (&Simulator{}).SimulateGraph(nest, g, plan, cfg)
+}
 
+// classLenFunc returns one iteration class's scheduled lengths (full model,
+// memory-level). sig and order give the class's identity for memoized
+// implementations; hit is the residency map ScheduleClass consumes.
+type classLenFunc func(sig string, hit map[string]bool, order []*scalarrepl.Entry) (iter, mem int, err error)
+
+// assembleResult builds the Result shared by the compositional and fused
+// engines from the class weights and transfer counts: classes are emitted
+// in sorted-signature order, scheduled through classLen, then ordered
+// densest first — the exact construction both engines must agree on for
+// byte-identical results.
+func assembleResult(g *dfg.Graph, plan *scalarrepl.Plan, cfg Config, counts map[string]int, loads, stores int, classLen classLenFunc) (*Result, error) {
 	res := &Result{}
 	order := plan.Order()
 	// RAM traffic counts DFG nodes, not body occurrences: a value written
@@ -128,13 +143,9 @@ func SimulateGraph(nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg Confi
 			nodesPerKey[n.RefKey]++
 		}
 	}
-	counts := make(map[string]int, len(w.sigs))
-	var sigs []string
-	for c, sig := range w.sigs {
-		if w.counts[c] > 0 {
-			counts[sig] = w.counts[c]
-			sigs = append(sigs, sig)
-		}
+	sigs := make([]string, 0, len(counts))
+	for sig := range counts {
+		sigs = append(sigs, sig)
 	}
 	sort.Strings(sigs)
 	for _, sig := range sigs {
@@ -147,11 +158,7 @@ func SimulateGraph(nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg Confi
 				ram += nodesPerKey[e.Info.Key()]
 			}
 		}
-		iterLen, err := scheduleClass(g, hit, cfg, false)
-		if err != nil {
-			return nil, err
-		}
-		memLen, err := scheduleClass(g, hit, cfg, true)
+		iterLen, memLen, err := classLen(sig, hit, order)
 		if err != nil {
 			return nil, err
 		}
@@ -172,8 +179,8 @@ func SimulateGraph(nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg Confi
 	}
 	sort.Slice(res.Classes, func(i, j int) bool { return res.Classes[i].Count > res.Classes[j].Count })
 
-	res.TransferLoads, res.TransferStores = w.loads, w.stores
-	res.TransferCycles = (w.loads + w.stores) * cfg.Lat.Mem
+	res.TransferLoads, res.TransferStores = loads, stores
+	res.TransferCycles = (loads + stores) * cfg.Lat.Mem
 	res.OverheadCycles = overheadCycles(plan, cfg)
 	res.TotalCycles = res.LoopCycles + res.OverheadCycles
 	return res, nil

@@ -1,9 +1,44 @@
 package sched
 
 import (
+	"fmt"
+
+	"repro/internal/dfg"
 	"repro/internal/ir"
 	"repro/internal/scalarrepl"
 )
+
+// simulateFused is the PR-2 fused single-pass engine: one walk of the full
+// iteration space weights the classes and replays every entry's transfer
+// protocol together. Superseded by the compositional engine (fragment.go)
+// as the production path, it is kept — on top of the shared assembleResult
+// — as the mid-level differential oracle between the compositional engine
+// and the seed two-pass reference (seedref_test.go).
+func simulateFused(nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg Config) (*Result, error) {
+	if cfg.PortsPerRAM < 1 {
+		return nil, fmt.Errorf("sched: PortsPerRAM must be ≥1, got %d", cfg.PortsPerRAM)
+	}
+	w := newIterWalker(nest, plan)
+	w.run()
+	counts := make(map[string]int, len(w.sigs))
+	for c, sig := range w.sigs {
+		if w.counts[c] > 0 {
+			counts[sig] = w.counts[c]
+		}
+	}
+	classLen := func(_ string, hit map[string]bool, _ []*scalarrepl.Entry) (int, int, error) {
+		iter, err := scheduleClass(g, hit, cfg, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		mem, err := scheduleClass(g, hit, cfg, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		return iter, mem, nil
+	}
+	return assembleResult(g, plan, cfg, counts, w.loads, w.stores, classLen)
+}
 
 // iterWalker is the fused single-pass iteration-space engine behind
 // SimulateGraph. The seed implementation walked the full iteration space
@@ -78,20 +113,11 @@ func newIterWalker(nest *ir.Nest, plan *scalarrepl.Plan) *iterWalker {
 		w.counts = []int{0}
 		return w
 	}
-	inner := nest.Loops[w.depth-1]
-	trip := inner.Trip()
+	trip := nest.Loops[w.depth-1].Trip()
 
 	// Classify every innermost position once; the walk then classifies an
 	// iteration by position alone.
-	hitAt := make([][]bool, len(order))
-	for i, e := range order {
-		hitAt[i] = make([]bool, trip)
-		pos := 0
-		for v := inner.Lo; v < inner.Hi; v += inner.Step {
-			hitAt[i][pos] = e.HitInner(v)
-			pos++
-		}
-	}
+	hitAt := innerHitVectors(nest, order)
 	w.classOf = make([]int, trip)
 	classIdx := map[string]int{}
 	sig := make([]byte, len(order))

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/dse"
 	"repro/internal/hls"
+	"repro/internal/simcache"
 )
 
 // Plan names one shard of an n-way partition: the design points whose
@@ -106,6 +107,11 @@ type header struct {
 // bit-exactly through encoding/json (shortest-representation encoding),
 // which is what keeps merged output byte-identical.
 type metrics struct {
+	// Algorithm records the design's algorithm only when it differs from
+	// the point's allocator coordinate — i.e. the winning member of a
+	// portfolio point. Ordinary rows omit it, keeping the stock encoding
+	// byte-identical to earlier writers.
+	Algorithm string  `json:"algorithm,omitempty"`
 	Registers int     `json:"registers"`
 	Cycles    int     `json:"cycles"`
 	MemCycles int     `json:"tmem"`
@@ -126,6 +132,10 @@ type line struct {
 	EOF        bool     `json:"eof,omitempty"`
 	Rows       int      `json:"rows,omitempty"`
 	UniqueSims int      `json:"unique_sims,omitempty"`
+	// Cache carries the shard process's per-stage simulation-cache
+	// counters on the trailer; merge sums them across shards. Omitted when
+	// the cache was disabled (and by earlier writers).
+	Cache *simcache.Snapshot `json:"cache,omitempty"`
 }
 
 // Writer streams one shard's results into the portable encoding; it
@@ -174,6 +184,9 @@ func (sw *Writer) Point(r dse.Result) error {
 			SliceUtil: d.SliceUtil,
 			RAMs:      d.RAMs,
 		}
+		if d.Algorithm != r.Point.Allocator.Name() {
+			ln.Design.Algorithm = d.Algorithm
+		}
 	} else if r.Err != nil && r.Err.Error() != "" {
 		ln.Error = r.Err.Error()
 	} else {
@@ -187,7 +200,12 @@ func (sw *Writer) Point(r dse.Result) error {
 
 // End implements dse.StreamReporter: it writes the trailer and flushes.
 func (sw *Writer) End(st dse.StreamStats) error {
-	if err := sw.enc.Encode(line{EOF: true, Rows: sw.rows, UniqueSims: st.UniqueSims}); err != nil {
+	ln := line{EOF: true, Rows: sw.rows, UniqueSims: st.UniqueSims}
+	if !st.Cache.Zero() {
+		snap := st.Cache
+		ln.Cache = &snap
+	}
+	if err := sw.enc.Encode(ln); err != nil {
 		return err
 	}
 	return sw.w.Flush()
@@ -204,9 +222,10 @@ func Run(e dse.Engine, sp dse.Space, p Plan, w io.Writer) (dse.StreamStats, erro
 
 // shardFile is one decoded shard file.
 type shardFile struct {
-	h    header
-	rows []line
-	sims int
+	h     header
+	rows  []line
+	sims  int
+	cache simcache.Snapshot
 }
 
 func decode(r io.Reader) (*shardFile, error) {
@@ -240,6 +259,9 @@ func decode(r io.Reader) (*shardFile, error) {
 				return nil, fmt.Errorf("shard: shard %s: trailer says %d rows, file has %d", f.h.Shard, ln.Rows, len(f.rows))
 			}
 			f.sims = ln.UniqueSims
+			if ln.Cache != nil {
+				f.cache = *ln.Cache
+			}
 			sawTrailer = true
 			continue
 		}
@@ -322,6 +344,7 @@ func merge(readers []io.Reader, names []string) (*dse.ResultSet, error) {
 	results := make([]dse.Result, len(pts))
 	filled := make([]bool, len(pts))
 	sims := 0
+	var cache simcache.Snapshot
 	for _, f := range files {
 		plan := f.h.Shard
 		for _, ln := range f.rows {
@@ -339,9 +362,13 @@ func merge(readers []io.Reader, names []string) (*dse.ResultSet, error) {
 			r := dse.Result{Point: pts[g]}
 			if ln.Design != nil {
 				m := ln.Design
+				algo := pts[g].Allocator.Name()
+				if m.Algorithm != "" {
+					algo = m.Algorithm // portfolio winner
+				}
 				r.Design = &hls.Design{
 					Kernel:    pts[g].Kernel.Name,
-					Algorithm: pts[g].Allocator.Name(),
+					Algorithm: algo,
 					Registers: m.Registers,
 					Cycles:    m.Cycles,
 					MemCycles: m.MemCycles,
@@ -357,13 +384,14 @@ func merge(readers []io.Reader, names []string) (*dse.ResultSet, error) {
 			results[g] = r
 		}
 		sims += f.sims
+		cache = cache.Add(f.cache)
 	}
 	for g, ok := range filled {
 		if !ok {
 			return nil, fmt.Errorf("shard: point %d missing from every shard", g)
 		}
 	}
-	return &dse.ResultSet{Space: sp, Results: results, UniqueSims: sims}, nil
+	return &dse.ResultSet{Space: sp, Results: results, UniqueSims: sims, Cache: cache}, nil
 }
 
 // MergeFiles is Merge over files on disk.

@@ -1,0 +1,224 @@
+// Package simcache is the content-addressed store behind the compositional
+// cycle simulator: it memoizes the two kinds of simulation fragments a
+// storage plan's cycle estimate is assembled from —
+//
+//   - entry fragments: the register<->RAM transfer replay of one covered
+//     plan entry (loads and stores over the whole nest), keyed by the nest's
+//     loop bounds and the entry's replay fingerprint (flat-index affine
+//     form × coverage × reuse level × body access pattern); and
+//   - class lengths: the list-scheduled latency of one iteration class
+//     (full model and memory-level), keyed by the body DFG fingerprint,
+//     the scheduler configuration and the class's register-hit set —
+//
+// so that across the plans of a design-space sweep, only entries that
+// actually changed re-walk their iteration sub-space and the scheduler runs
+// once per distinct class per kernel, whatever allocator or budget produced
+// the plan. Keys are pure content: two kernels (or two shard processes)
+// that agree on a key share the value.
+//
+// The store is concurrency-safe and single-flight in memory; with a backing
+// directory (NewDir) values also persist as one small file per key, so
+// independent worker processes — the shards of one sweep — share fragments
+// through the filesystem, recovering the cross-shard deduplication a
+// per-process cache loses. Disk writes are atomic (temp file + rename) and
+// unreadable or corrupt files are treated as misses, so concurrent writers
+// are safe: content addressing makes every writer write the same bytes.
+//
+// The package also aggregates the per-stage hit statistics (entry
+// fragments, class schedules, whole-plan simulations — the last counted by
+// the sweep engine's plan-level cache) that the CLIs report and shard
+// merging sums.
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Fragment is one covered plan entry's transfer replay over the whole nest:
+// register-file fill loads and write-back stores.
+type Fragment struct {
+	Loads  int
+	Stores int
+}
+
+// ClassLen is the list-scheduled latency of one iteration class: the full
+// latency model (Iter) and the memory-level model with operator latencies
+// zeroed (Mem, the paper's Tmem). Lengths are stored unclamped; consumers
+// apply the one-control-state-minimum rule.
+type ClassLen struct {
+	Iter int
+	Mem  int
+}
+
+// entry is one single-flight slot: the first claimant computes (or reads
+// from disk), concurrent claimants block on the once and share the result.
+type entry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// Cache memoizes fragments and class lengths. The zero value is not usable;
+// use New or NewDir.
+type Cache struct {
+	dir string // "" = memory only
+
+	mu      sync.Mutex
+	frags   map[string]*entry[Fragment]
+	classes map[string]*entry[ClassLen]
+
+	stats stats
+}
+
+// New returns an in-memory cache.
+func New() *Cache {
+	return &Cache{
+		frags:   map[string]*entry[Fragment]{},
+		classes: map[string]*entry[ClassLen]{},
+	}
+}
+
+// NewDir returns a cache backed by dir (created if absent): every computed
+// value is persisted as one file, and a key missing from memory is looked
+// up on disk before being recomputed. Multiple processes may share a
+// directory concurrently.
+func NewDir(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	c := New()
+	c.dir = dir
+	return c, nil
+}
+
+// Dir returns the backing directory ("" for a memory-only cache).
+func (c *Cache) Dir() string { return c.dir }
+
+// Fragment returns the memoized fragment for key, running compute on the
+// first claim (after a disk probe when file-backed). Errors are memoized in
+// memory but never persisted.
+func (c *Cache) Fragment(key string, compute func() (Fragment, error)) (Fragment, error) {
+	c.mu.Lock()
+	e := c.frags[key]
+	claimed := e == nil
+	if claimed {
+		e = &entry[Fragment]{}
+		c.frags[key] = e
+	}
+	c.mu.Unlock()
+	if !claimed {
+		c.stats.entryHits.Add(1)
+	}
+	e.once.Do(func() {
+		defer func() {
+			if v := recover(); v != nil {
+				e.err = fmt.Errorf("simcache: fragment panic: %v", v)
+			}
+		}()
+		var a, b int
+		if c.load("f", key, &a, &b) {
+			c.stats.entryDiskHits.Add(1)
+			e.val = Fragment{Loads: a, Stores: b}
+			return
+		}
+		c.stats.entryMisses.Add(1)
+		e.val, e.err = compute()
+		if e.err == nil {
+			c.store("f", key, e.val.Loads, e.val.Stores)
+		}
+	})
+	return e.val, e.err
+}
+
+// ClassLen returns the memoized class lengths for key, running compute on
+// the first claim (after a disk probe when file-backed).
+func (c *Cache) ClassLen(key string, compute func() (ClassLen, error)) (ClassLen, error) {
+	c.mu.Lock()
+	e := c.classes[key]
+	claimed := e == nil
+	if claimed {
+		e = &entry[ClassLen]{}
+		c.classes[key] = e
+	}
+	c.mu.Unlock()
+	if !claimed {
+		c.stats.classHits.Add(1)
+	}
+	e.once.Do(func() {
+		defer func() {
+			if v := recover(); v != nil {
+				e.err = fmt.Errorf("simcache: class panic: %v", v)
+			}
+		}()
+		var a, b int
+		if c.load("c", key, &a, &b) {
+			c.stats.classDiskHits.Add(1)
+			e.val = ClassLen{Iter: a, Mem: b}
+			return
+		}
+		c.stats.classMisses.Add(1)
+		e.val, e.err = compute()
+		if e.err == nil {
+			c.store("c", key, e.val.Iter, e.val.Mem)
+		}
+	})
+	return e.val, e.err
+}
+
+// PlanHit and PlanMiss record the whole-plan simulation cache outcomes the
+// sweep engine's plan-level cache observes, so one snapshot carries all
+// three stages.
+func (c *Cache) PlanHit()  { c.stats.planHits.Add(1) }
+func (c *Cache) PlanMiss() { c.stats.planMisses.Add(1) }
+
+// path returns the backing file of one key: the kind prefix plus the
+// SHA-256 of the key (keys are long canonical strings; the digest is the
+// filename-safe content address).
+func (c *Cache) path(kind, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, kind+hex.EncodeToString(sum[:]))
+}
+
+// load probes the backing file for key; any read or parse failure is a miss.
+func (c *Cache) load(kind, key string, a, b *int) bool {
+	if c.dir == "" {
+		return false
+	}
+	data, err := os.ReadFile(c.path(kind, key))
+	if err != nil {
+		return false
+	}
+	var v int
+	if n, err := fmt.Sscanf(string(data), "%d %d %d", &v, a, b); n != 3 || err != nil || v != 1 {
+		return false
+	}
+	return true
+}
+
+// store persists one value atomically: full write to a temp file in the
+// same directory, then rename. Failures are ignored — the disk layer is an
+// accelerator, never a correctness dependency.
+func (c *Cache) store(kind, key string, a, b int) {
+	if c.dir == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := fmt.Fprintf(tmp, "1 %d %d\n", a, b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(kind, key)); err != nil {
+		os.Remove(name)
+	}
+}

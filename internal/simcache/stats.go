@@ -1,0 +1,81 @@
+package simcache
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// stats is the live atomic counter set of one cache.
+type stats struct {
+	entryHits, entryDiskHits, entryMisses atomic.Int64
+	classHits, classDiskHits, classMisses atomic.Int64
+	planHits, planMisses                  atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of the per-stage cache counters, the
+// JSON-portable form shard trailers carry and merges sum. For each stage,
+// hits are in-memory reuses, disk hits are values recovered from the
+// backing directory (written by this or another process), and misses are
+// fresh computations; hits + disk hits + misses = total lookups. Within
+// one process the miss counts are deterministic for a given space (they
+// count distinct keys, never goroutine scheduling); across processes
+// racing on one backing directory, the split between misses and disk
+// hits depends on which process persisted a key first, so summed
+// multi-process counters are diagnostics, not invariants.
+type Snapshot struct {
+	EntryHits     int64 `json:"entry_hits"`
+	EntryDiskHits int64 `json:"entry_disk_hits,omitempty"`
+	EntryMisses   int64 `json:"entry_misses"`
+	ClassHits     int64 `json:"class_hits"`
+	ClassDiskHits int64 `json:"class_disk_hits,omitempty"`
+	ClassMisses   int64 `json:"class_misses"`
+	PlanHits      int64 `json:"plan_hits"`
+	PlanMisses    int64 `json:"plan_misses"`
+}
+
+// Snapshot returns the current counter values.
+func (c *Cache) Snapshot() Snapshot {
+	return Snapshot{
+		EntryHits:     c.stats.entryHits.Load(),
+		EntryDiskHits: c.stats.entryDiskHits.Load(),
+		EntryMisses:   c.stats.entryMisses.Load(),
+		ClassHits:     c.stats.classHits.Load(),
+		ClassDiskHits: c.stats.classDiskHits.Load(),
+		ClassMisses:   c.stats.classMisses.Load(),
+		PlanHits:      c.stats.planHits.Load(),
+		PlanMisses:    c.stats.planMisses.Load(),
+	}
+}
+
+// Add returns the counter-wise sum — how shard merging combines the hit
+// statistics of independent worker processes.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		EntryHits:     s.EntryHits + o.EntryHits,
+		EntryDiskHits: s.EntryDiskHits + o.EntryDiskHits,
+		EntryMisses:   s.EntryMisses + o.EntryMisses,
+		ClassHits:     s.ClassHits + o.ClassHits,
+		ClassDiskHits: s.ClassDiskHits + o.ClassDiskHits,
+		ClassMisses:   s.ClassMisses + o.ClassMisses,
+		PlanHits:      s.PlanHits + o.PlanHits,
+		PlanMisses:    s.PlanMisses + o.PlanMisses,
+	}
+}
+
+// Zero reports whether no lookup was recorded (e.g. the cache was disabled).
+func (s Snapshot) Zero() bool { return s == Snapshot{} }
+
+// String renders the per-stage counters for stderr stats lines, as
+// hits+diskHits/misses per stage.
+func (s Snapshot) String() string {
+	stage := func(h, d, m int64) string {
+		if d > 0 {
+			return fmt.Sprintf("%d+%dd/%d", h, d, m)
+		}
+		return fmt.Sprintf("%d/%d", h, m)
+	}
+	return fmt.Sprintf("frag %s, class %s, plan %s",
+		stage(s.EntryHits, s.EntryDiskHits, s.EntryMisses),
+		stage(s.ClassHits, s.ClassDiskHits, s.ClassMisses),
+		stage(s.PlanHits, 0, s.PlanMisses))
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench.sh — run the top-level benchmark suite and write the trajectory
+# artifact BENCH_<n>.json (benchstat-comparable raw output wrapped with run
+# metadata; see scripts/benchjson).
+#
+# Usage:
+#   scripts/bench.sh <n> [out-dir]        # run benches, write BENCH_<n>.json
+#   scripts/bench.sh --extract FILE.json  # print raw text for benchstat
+#
+# Compare two PRs:
+#   benchstat <(scripts/bench.sh --extract BENCH_3.json) \
+#             <(scripts/bench.sh --extract BENCH_4.json)
+#
+# Environment overrides:
+#   BENCH_REGEX  benchmarks to run   (default: the DSE hot-path suite)
+#   BENCH_COUNT  -count              (default: 3)
+#   BENCH_TIME   -benchtime          (default: 1x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--extract" ]; then
+  [ $# -eq 2 ] || { echo "usage: scripts/bench.sh --extract FILE.json" >&2; exit 2; }
+  exec go run ./scripts/benchjson extract < "$2"
+fi
+
+n="${1:?usage: scripts/bench.sh <n> [out-dir]  (or --extract FILE.json)}"
+outdir="${2:-.}"
+regex="${BENCH_REGEX:-BenchmarkSimulate\$|BenchmarkExplore\$|BenchmarkIncrementalSim|BenchmarkStreamReport}"
+count="${BENCH_COUNT:-3}"
+btime="${BENCH_TIME:-1x}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench "$regex" -benchtime "$btime" -count "$count" . | tee "$raw" >&2
+go run ./scripts/benchjson wrap -pr "$n" -bench "$regex" -count "$count" -benchtime "$btime" \
+  < "$raw" > "$outdir/BENCH_$n.json"
+echo "wrote $outdir/BENCH_$n.json" >&2

@@ -1,0 +1,78 @@
+// Command benchjson converts between raw `go test -bench` output and the
+// repository's benchmark trajectory artifacts (BENCH_<n>.json): `wrap`
+// embeds the raw text with run metadata into one JSON document, `extract`
+// prints the raw text back out — so two artifacts compare with
+//
+//	benchstat <(benchjson extract < BENCH_3.json) <(benchjson extract < BENCH_4.json)
+//
+// (or via scripts/bench.sh --extract). JSON is used for the committed
+// artifact so metadata travels with the numbers; the embedded text is the
+// untouched benchmark output, which is what benchstat consumes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+type artifact struct {
+	PR        string `json:"pr"`
+	GoVersion string `json:"goversion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Bench     string `json:"bench"`
+	Count     int    `json:"count"`
+	Benchtime string `json:"benchtime"`
+	// Output is the verbatim `go test -bench` text (benchstat input).
+	Output string `json:"output"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		die("usage: benchjson wrap|extract [flags]")
+	}
+	switch os.Args[1] {
+	case "wrap":
+		fs := flag.NewFlagSet("wrap", flag.ExitOnError)
+		pr := fs.String("pr", "", "PR number or label for the artifact")
+		bench := fs.String("bench", "", "benchmark regex that produced the output")
+		count := fs.Int("count", 1, "-count used")
+		benchtime := fs.String("benchtime", "", "-benchtime used")
+		fs.Parse(os.Args[2:])
+		raw, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			die(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(artifact{
+			PR:        *pr,
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			Bench:     *bench,
+			Count:     *count,
+			Benchtime: *benchtime,
+			Output:    string(raw),
+		}); err != nil {
+			die(err)
+		}
+	case "extract":
+		var a artifact
+		if err := json.NewDecoder(os.Stdin).Decode(&a); err != nil {
+			die(err)
+		}
+		fmt.Print(a.Output)
+	default:
+		die(fmt.Sprintf("unknown subcommand %q (want wrap or extract)", os.Args[1]))
+	}
+}
+
+func die(v any) {
+	fmt.Fprintln(os.Stderr, "benchjson:", v)
+	os.Exit(1)
+}
