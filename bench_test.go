@@ -190,10 +190,12 @@ func BenchmarkAllocatorOnly(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulate measures the fused single-pass cycle simulator on every
-// Table-1 kernel under its CPA-RA plan, with allocation counts: the per-
-// iteration work is the DSE hot path, so allocs/op here is the number that
-// has to stay flat as kernels grow.
+// BenchmarkSimulate measures a cold compositional cycle simulation (no
+// shared cache) on every Table-1 kernel under its CPA-RA plan, with
+// allocation counts. This is the per-point DSE hot path; with the
+// per-subtree steady-state extrapolation the cost tracks the collapsed
+// walk (transient × cycle × inner region), not the trip product — BIC's
+// ~208k-point nest is the regression canary.
 func BenchmarkSimulate(b *testing.B) {
 	for _, k := range kernels.All() {
 		prob, err := core.NewProblem(k.Nest, k.Rmax, dfg.DefaultLatencies())

@@ -65,6 +65,7 @@ func main() {
 		strict     = flag.Bool("strict", false, "exit non-zero when any design point fails")
 		nocache    = flag.Bool("nocache", false, "disable the cross-point simulation cache (diagnostic; output is byte-identical either way)")
 		portfolio  = flag.Bool("portfolio", false, "run every allocator per point and keep the best design by (time, slices, registers)")
+		pfAll      = flag.Bool("portfolio-all", false, "with -portfolio (implied), additionally report every member allocator's metrics per point (CSV role column, JSON portfolio array, indented table rows)")
 		cacheDir   = flag.String("simcache-dir", "", "back the fragment/schedule store with files in this directory (shared across shard processes)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -88,7 +89,7 @@ func main() {
 		}
 	}
 	err := run(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList,
-		*workers, *format, *shardSpec, *cacheDir, formatSet, *strict, *nocache, *portfolio)
+		*workers, *format, *shardSpec, *cacheDir, formatSet, *strict, *nocache, *portfolio, *pfAll)
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
 	}
@@ -114,12 +115,16 @@ func writeHeapProfile(path string) error {
 }
 
 func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string,
-	workers int, format, shardSpec, cacheDir string, formatSet, strict, nocache, portfolio bool) error {
+	workers int, format, shardSpec, cacheDir string, formatSet, strict, nocache, portfolio, pfAll bool) error {
+	if pfAll && shardSpec != "" {
+		return errors.New("-portfolio-all is a local diagnostic and cannot be combined with -shard (shard rows carry winners only)")
+	}
 	sp, err := dse.BuildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList)
 	if err != nil {
 		return err
 	}
-	sp.Portfolio = portfolio
+	sp.Portfolio = portfolio || pfAll
+	sp.PortfolioAll = pfAll
 	engine := dse.Engine{Workers: workers, NoSimCache: nocache, SimCacheDir: cacheDir}
 	start := time.Now()
 

@@ -44,6 +44,9 @@ type Result struct {
 	Point  Point
 	Design *hls.Design // nil when Err != nil
 	Err    error
+	// Members holds every portfolio member's design (allocator list order,
+	// winner included) when the space ran with PortfolioAll; nil otherwise.
+	Members []*hls.Design
 }
 
 // Ok reports whether the point produced a design.
@@ -179,14 +182,19 @@ func (e Engine) fragCache() (*simcache.Cache, error) {
 // its worker goroutine with the index channel undrained, blocking the
 // producer send and deadlocking Explore's wg.Wait forever. A portfolio
 // point runs every member allocator through the shared sim function and
-// keeps the best design.
-func evaluate(an *hls.Analysis, p Point, sim hls.SimFunc) (res Result) {
+// keeps the best design; with members set it also carries every member's
+// design on the result (the -portfolio-all diagnostic).
+func evaluate(an *hls.Analysis, p Point, sim hls.SimFunc, members bool) (res Result) {
 	defer func() {
 		if v := recover(); v != nil {
 			res = Result{Point: p, Err: fmt.Errorf("estimator panic: %v", v)}
 		}
 	}()
 	if pf, ok := p.Allocator.(Portfolio); ok {
+		if members {
+			d, ms, err := an.EstimatePortfolioAll(pf.Allocators, p.Options(), sim)
+			return Result{Point: p, Design: d, Members: ms, Err: err}
+		}
 		d, err := an.EstimatePortfolio(pf.Allocators, p.Options(), sim)
 		return Result{Point: p, Design: d, Err: err}
 	}

@@ -2,6 +2,8 @@ package dse
 
 import (
 	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -206,5 +208,131 @@ func TestPortfolioAllocateErrors(t *testing.T) {
 	}
 	if (Portfolio{}).Name() != "portfolio" {
 		t.Fatal("unexpected portfolio name")
+	}
+}
+
+// TestPortfolioAllCarriesMembers: in portfolio-all mode every successful
+// point carries each member allocator's design in allocator list order,
+// the winner among them, and the winner equals plain portfolio mode's.
+func TestPortfolioAllCarriesMembers(t *testing.T) {
+	sp := smallSpace()
+	sp.PortfolioAll = true
+	rs := mustExplore(t, Engine{}, sp)
+	plain := smallSpace()
+	plain.Portfolio = true
+	prs := mustExplore(t, Engine{}, plain)
+	for i, r := range rs.Results {
+		if !r.Ok() {
+			t.Fatalf("%s failed: %v", r.Point.ID(), r.Err)
+		}
+		if len(r.Members) != len(sp.Allocators) {
+			t.Fatalf("%s: %d members, want %d", r.Point.ID(), len(r.Members), len(sp.Allocators))
+		}
+		winnerListed := false
+		for j, m := range r.Members {
+			if want := sp.Allocators[j].Name(); m.Algorithm != want {
+				t.Errorf("%s member %d is %s, want %s (allocator order)", r.Point.ID(), j, m.Algorithm, want)
+			}
+			if m.Algorithm == r.Design.Algorithm && m.TimeUs == r.Design.TimeUs {
+				winnerListed = true
+			}
+			if m.TimeUs < r.Design.TimeUs {
+				t.Errorf("%s: member %s (%.2fus) beats the winner %s (%.2fus)",
+					r.Point.ID(), m.Algorithm, m.TimeUs, r.Design.Algorithm, r.Design.TimeUs)
+			}
+		}
+		if !winnerListed {
+			t.Errorf("%s: winner %s missing from members", r.Point.ID(), r.Design.Algorithm)
+		}
+		pw := prs.Results[i].Design
+		if r.Design.Algorithm != pw.Algorithm || r.Design.TimeUs != pw.TimeUs {
+			t.Errorf("%s: portfolio-all winner %s/%.2f differs from portfolio winner %s/%.2f",
+				r.Point.ID(), r.Design.Algorithm, r.Design.TimeUs, pw.Algorithm, pw.TimeUs)
+		}
+	}
+}
+
+// TestPortfolioAllReporters: CSV grows a role column with one member row
+// per allocator; JSON points carry a portfolio array; winner rows keep the
+// pareto mark and member rows never carry one.
+func TestPortfolioAllReporters(t *testing.T) {
+	sp := smallSpace()
+	sp.PortfolioAll = true
+	rs := mustExplore(t, Engine{}, sp)
+
+	var csvBuf bytes.Buffer
+	if err := (CSVReporter{Pareto: true}).Report(&csvBuf, rs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if want := "kernel,algorithm,role,rmax,device,sched,registers,cycles,tmem,clock_ns,time_us,slices,slice_util_pct,brams,error,pareto"; lines[0] != want {
+		t.Fatalf("csv header = %q, want %q", lines[0], want)
+	}
+	wantRows := len(rs.Results) * (1 + len(sp.Allocators))
+	if got := len(lines) - 1; got != wantRows {
+		t.Fatalf("csv has %d rows, want %d (winner + members per point)", got, wantRows)
+	}
+	winners, members := 0, 0
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		switch f[2] {
+		case "winner":
+			winners++
+			if f[len(f)-1] != "0" && f[len(f)-1] != "1" {
+				t.Fatalf("winner row lacks a pareto mark: %q", line)
+			}
+		case "member":
+			members++
+			if f[len(f)-1] != "" {
+				t.Fatalf("member row carries a pareto mark: %q", line)
+			}
+		default:
+			t.Fatalf("row with unknown role %q: %q", f[2], line)
+		}
+	}
+	if winners != len(rs.Results) || members != len(rs.Results)*len(sp.Allocators) {
+		t.Fatalf("csv roles: %d winners, %d members", winners, members)
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := (JSONReporter{}).Report(&jsonBuf, rs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Points []struct {
+			Algorithm string `json:"algorithm"`
+			Portfolio []struct {
+				Algorithm string `json:"algorithm"`
+				Metrics   struct {
+					TimeUs float64 `json:"time_us"`
+				} `json:"metrics"`
+			} `json:"portfolio"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range doc.Points {
+		if len(p.Portfolio) != len(sp.Allocators) {
+			t.Fatalf("json point carries %d members, want %d", len(p.Portfolio), len(sp.Allocators))
+		}
+	}
+}
+
+// TestPortfolioAllImpliesPortfolioAndRejectsShards: normalization turns the
+// diagnostic flag into portfolio mode, and the sharded entry points refuse
+// it (the shard encoding carries winners only).
+func TestPortfolioAllImpliesPortfolioAndRejectsShards(t *testing.T) {
+	sp := smallSpace()
+	sp.PortfolioAll = true
+	n, err := sp.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Portfolio {
+		t.Fatal("PortfolioAll did not imply Portfolio")
+	}
+	if _, err := (Engine{}).ExploreShard(sp, 0, 2); err == nil {
+		t.Fatal("ExploreShard accepted a portfolio-all space")
 	}
 }

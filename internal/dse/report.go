@@ -8,6 +8,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/hls"
 )
 
 // Reporter renders a buffered result set. Every reporter is a thin wrapper
@@ -61,24 +63,46 @@ func (c CSVReporter) Stream(w io.Writer) StreamReporter {
 type csvStream struct {
 	cw     *csv.Writer
 	pareto bool
+	all    bool     // portfolio-all: member rows + role column
 	kernel string   // current kernel block (pareto mode)
 	block  []Result // pending rows of the current kernel block (pareto mode)
 }
 
 func (c *csvStream) Begin(sp Space, total int) error {
-	header := []string{
-		"kernel", "algorithm", "rmax", "device", "sched",
-		"registers", "cycles", "tmem", "clock_ns", "time_us", "slices", "slice_util_pct", "brams", "error",
+	c.all = sp.PortfolioAll
+	header := []string{"kernel", "algorithm"}
+	if c.all {
+		header = append(header, "role")
 	}
+	header = append(header,
+		"rmax", "device", "sched",
+		"registers", "cycles", "tmem", "clock_ns", "time_us", "slices", "slice_util_pct", "brams", "error",
+	)
 	if c.pareto {
 		header = append(header, "pareto")
 	}
 	return c.cw.Write(header)
 }
 
+// writeResult emits one result: its (winner) row, then — in portfolio-all
+// mode — one member row per portfolio member, in allocator order. Member
+// rows are diagnostics: they carry no pareto mark (the frontier is over
+// the winners).
+func (c *csvStream) writeResult(r Result, pareto, onFrontier bool) error {
+	if err := c.cw.Write(c.record(r, roleWinner, nil, pareto, onFrontier)); err != nil {
+		return err
+	}
+	for _, m := range r.Members {
+		if err := c.cw.Write(c.record(r, roleMember, m, pareto, false)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (c *csvStream) Point(r Result) error {
 	if !c.pareto {
-		return c.cw.Write(csvRecord(r, false, false))
+		return c.writeResult(r, false, false)
 	}
 	// Canonical point order is kernel-outermost, so each kernel arrives
 	// as one contiguous run and a kernel-name change closes the block.
@@ -102,7 +126,7 @@ func (c *csvStream) flushBlock() error {
 		onFront[r.Point.Index] = true
 	}
 	for _, r := range c.block {
-		if err := c.cw.Write(csvRecord(r, true, onFront[r.Point.Index])); err != nil {
+		if err := c.writeResult(r, true, onFront[r.Point.Index]); err != nil {
 			return err
 		}
 	}
@@ -129,11 +153,26 @@ func algoName(r Result) string {
 	return r.Point.Allocator.Name()
 }
 
-func csvRecord(r Result, pareto, onFrontier bool) []string {
+const (
+	roleWinner = "winner"
+	roleMember = "member"
+)
+
+// record renders one CSV row. A nil member renders the result's own
+// (winning) design; a member design renders that member's metrics under
+// the same point coordinates.
+func (c *csvStream) record(r Result, role string, member *hls.Design, pareto, onFrontier bool) []string {
 	p := r.Point
-	rec := []string{p.Kernel.Name, algoName(r), strconv.Itoa(p.EffectiveBudget()), p.Device.Name, p.Sched.Name}
+	d, algo := r.Design, algoName(r)
+	if member != nil {
+		d, algo = member, member.Algorithm
+	}
+	rec := []string{p.Kernel.Name, algo}
+	if c.all {
+		rec = append(rec, role)
+	}
+	rec = append(rec, strconv.Itoa(p.EffectiveBudget()), p.Device.Name, p.Sched.Name)
 	if r.Ok() {
-		d := r.Design
 		rec = append(rec,
 			strconv.Itoa(d.Registers), strconv.Itoa(d.Cycles), strconv.Itoa(d.MemCycles),
 			fmt.Sprintf("%.1f", d.ClockNs), fmt.Sprintf("%.1f", d.TimeUs),
@@ -142,7 +181,11 @@ func csvRecord(r Result, pareto, onFrontier bool) []string {
 		rec = append(rec, "", "", "", "", "", "", "", "", errString(r))
 	}
 	if pareto {
-		rec = append(rec, mark(onFrontier))
+		m := ""
+		if member == nil {
+			m = mark(onFrontier)
+		}
+		rec = append(rec, m)
 	}
 	return rec
 }
@@ -186,7 +229,15 @@ type jsonPoint struct {
 	Device    string       `json:"device"`
 	Sched     string       `json:"sched"`
 	Metrics   *jsonMetrics `json:"metrics,omitempty"`
+	// Portfolio carries every member allocator's metrics (allocator order,
+	// winner included) in portfolio-all diagnostic mode.
+	Portfolio []jsonMember `json:"portfolio,omitempty"`
 	Error     string       `json:"error,omitempty"`
+}
+
+type jsonMember struct {
+	Algorithm string      `json:"algorithm"`
+	Metrics   jsonMetrics `json:"metrics"`
 }
 
 type jsonMetrics struct {
@@ -325,21 +376,28 @@ func jsonPointOf(r Result) jsonPoint {
 		Sched:     p.Sched.Name,
 	}
 	if r.Ok() {
-		d := r.Design
-		jp.Metrics = &jsonMetrics{
-			Registers:    d.Registers,
-			Cycles:       d.Cycles,
-			MemCycles:    d.MemCycles,
-			ClockNs:      d.ClockNs,
-			TimeUs:       d.TimeUs,
-			Slices:       d.Slices,
-			SliceUtilPct: d.SliceUtil,
-			RAMs:         d.RAMs,
+		m := metricsOf(r.Design)
+		jp.Metrics = &m
+		for _, d := range r.Members {
+			jp.Portfolio = append(jp.Portfolio, jsonMember{Algorithm: d.Algorithm, Metrics: metricsOf(d)})
 		}
 	} else {
 		jp.Error = errString(r)
 	}
 	return jp
+}
+
+func metricsOf(d *hls.Design) jsonMetrics {
+	return jsonMetrics{
+		Registers:    d.Registers,
+		Cycles:       d.Cycles,
+		MemCycles:    d.MemCycles,
+		ClockNs:      d.ClockNs,
+		TimeUs:       d.TimeUs,
+		Slices:       d.Slices,
+		SliceUtilPct: d.SliceUtil,
+		RAMs:         d.RAMs,
+	}
 }
 
 // TableReporter renders a fixed-width text table with a per-kernel Pareto
@@ -379,10 +437,21 @@ func (t *tableStream) Point(r Result) error {
 		return err
 	}
 	d := r.Design
-	_, err := fmt.Fprintf(t.w, "%-8s %-8s %5d %-16s %-10s %6d %10d %10.1f %9.1f %7d %6d\n",
+	if _, err := fmt.Fprintf(t.w, "%-8s %-8s %5d %-16s %-10s %6d %10d %10.1f %9.1f %7d %6d\n",
 		p.Kernel.Name, algoName(r), p.EffectiveBudget(), p.Device.Name, p.Sched.Name,
-		d.Registers, d.Cycles, d.ClockNs, d.TimeUs, d.Slices, d.RAMs)
-	return err
+		d.Registers, d.Cycles, d.ClockNs, d.TimeUs, d.Slices, d.RAMs); err != nil {
+		return err
+	}
+	// Portfolio-all diagnostic: one indented row per member allocator, so
+	// the win margin over the runners-up reads off the table directly.
+	for _, m := range r.Members {
+		if _, err := fmt.Fprintf(t.w, "%-8s  %-7s %5d %-16s %-10s %6d %10d %10.1f %9.1f %7d %6d\n",
+			"", "·"+m.Algorithm, p.EffectiveBudget(), p.Device.Name, p.Sched.Name,
+			m.Registers, m.Cycles, m.ClockNs, m.TimeUs, m.Slices, m.RAMs); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (t *tableStream) End(StreamStats) error {

@@ -39,6 +39,14 @@ type Space struct {
 	// winning allocator is recorded in the design's Algorithm field. All
 	// allocators of a point share the exploration's simulation caches.
 	Portfolio bool
+	// PortfolioAll is the portfolio diagnostic mode: every member
+	// allocator's design is carried on the point's Result (allocator list
+	// order) and the reporters emit the members' metrics next to the
+	// winner's, making the win margins visible per point. Implies
+	// Portfolio; a local diagnostic — multi-shard partitions and the shard
+	// file encoding (shard.Run) reject it, since shard rows carry winners
+	// only and would silently drop the members.
+	PortfolioAll bool
 }
 
 // Portfolio is the pseudo-allocator occupying the allocator coordinate of
@@ -86,6 +94,9 @@ func (sp Space) normalized() (Space, error) {
 			return sp, fmt.Errorf("dse: kernel %q appears twice on the kernel axis", k.Name)
 		}
 		seen[k.Name] = true
+	}
+	if sp.PortfolioAll {
+		sp.Portfolio = true
 	}
 	if len(sp.Budgets) == 0 {
 		sp.Budgets = []int{0}

@@ -81,6 +81,11 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 	if shardCount < 1 || shardIndex < 0 || shardIndex >= shardCount {
 		return StreamStats{}, fmt.Errorf("dse: invalid shard %d/%d (want count ≥ 1 and 0 ≤ index < count)", shardIndex, shardCount)
 	}
+	if sp.PortfolioAll && shardCount > 1 {
+		// The shard row encoding carries one design per point; the member
+		// diagnostic is a local rendering concern, not a portable one.
+		return StreamStats{}, fmt.Errorf("dse: the portfolio-all diagnostic is not supported with sharding")
+	}
 	pts := sp.Points()
 	owned := make([]int, 0, (len(pts)+shardCount-1)/shardCount)
 	for i := shardIndex; i < len(pts); i += shardCount {
@@ -125,7 +130,7 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 			defer wg.Done()
 			for i := range idxCh {
 				select {
-				case results <- evaluate(analyses[pts[i].Kernel.Name], pts[i], sim):
+				case results <- evaluate(analyses[pts[i].Kernel.Name], pts[i], sim, sp.PortfolioAll):
 				case <-stop:
 					return
 				}

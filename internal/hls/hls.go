@@ -169,10 +169,21 @@ func (an *Analysis) EstimateSim(alg core.Allocator, opt Options, sim SimFunc) (*
 // per-entry fragments). Per-allocator failures (infeasible budget, device
 // capacity) only fail the point when every allocator fails.
 func (an *Analysis) EstimatePortfolio(algs []core.Allocator, opt Options, sim SimFunc) (*Design, error) {
+	best, _, err := an.EstimatePortfolioAll(algs, opt, sim)
+	return best, err
+}
+
+// EstimatePortfolioAll is EstimatePortfolio exposing the whole field: it
+// additionally returns every member allocator's design, in allocator list
+// order (failed members are absent) — the winner included. Diagnostic
+// sweeps (`dse -portfolio-all`) report the members next to the winner so
+// the win margins are visible per point.
+func (an *Analysis) EstimatePortfolioAll(algs []core.Allocator, opt Options, sim SimFunc) (*Design, []*Design, error) {
 	if len(algs) == 0 {
-		return nil, fmt.Errorf("hls: %s: empty allocator portfolio", an.Kernel.Name)
+		return nil, nil, fmt.Errorf("hls: %s: empty allocator portfolio", an.Kernel.Name)
 	}
 	var best *Design
+	var members []*Design
 	var msgs []string
 	seen := map[string]bool{}
 	for _, alg := range algs {
@@ -187,14 +198,15 @@ func (an *Analysis) EstimatePortfolio(algs []core.Allocator, opt Options, sim Si
 			}
 			continue
 		}
+		members = append(members, d)
 		if best == nil || betterDesign(d, best) {
 			best = d
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("hls: %s: every portfolio allocator failed: %s", an.Kernel.Name, strings.Join(msgs, "; "))
+		return nil, nil, fmt.Errorf("hls: %s: every portfolio allocator failed: %s", an.Kernel.Name, strings.Join(msgs, "; "))
 	}
-	return best, nil
+	return best, members, nil
 }
 
 // betterDesign reports whether a strictly precedes b in the portfolio

@@ -240,6 +240,19 @@ type Nest struct {
 	Body  []*Assign
 }
 
+// NewNest constructs a validated nest. Prefer it over a literal for
+// hand-built nests: the iteration-space walkers downstream assume the
+// validated program class — in particular positive loop steps, which a
+// literal does not enforce and a `v += Step` walk loop would otherwise
+// spin on forever.
+func NewNest(name string, loops []Loop, body []*Assign) (*Nest, error) {
+	n := &Nest{Name: name, Loops: append([]Loop(nil), loops...), Body: append([]*Assign(nil), body...)}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
 // Depth returns the nesting depth.
 func (n *Nest) Depth() int { return len(n.Loops) }
 

@@ -119,3 +119,30 @@ func TestValidateStridedAccessInBounds(t *testing.T) {
 		t.Fatal("expected bounds violation for x[21]")
 	}
 }
+
+// TestNewNestValidates: the constructor must reject the malformed shapes
+// that would hang downstream iteration-space walkers — above all zero and
+// negative loop steps, which a bare literal does not guard against.
+func TestNewNestValidates(t *testing.T) {
+	a := NewArray("a", 8, 16)
+	body := []*Assign{{LHS: Ref(a, AffVar("i")), RHS: Lit(1)}}
+	loops := []Loop{{Var: "i", Lo: 0, Hi: 8, Step: 1}}
+	n, err := NewNest("ok", loops, body)
+	if err != nil || n == nil {
+		t.Fatalf("NewNest rejected a valid nest: %v", err)
+	}
+	// The constructor copies its slices: mutating the caller's loops must
+	// not corrupt the validated nest.
+	loops[0].Step = 0
+	if n.Loops[0].Step != 1 {
+		t.Fatal("NewNest aliased the caller's loop slice")
+	}
+	for _, step := range []int{0, -2} {
+		if _, err := NewNest("bad", []Loop{{Var: "i", Lo: 0, Hi: 8, Step: step}}, body); err == nil {
+			t.Fatalf("NewNest accepted step %d", step)
+		}
+	}
+	if _, err := NewNest("empty", nil, body); err == nil {
+		t.Fatal("NewNest accepted a nest with no loops")
+	}
+}

@@ -18,6 +18,15 @@ type Config struct {
 	MaxArrays int // 2..MaxArrays arrays (default 4)
 	MaxStmts  int // 1..MaxStmts statements (default 3)
 	MaxExpr   int // RHS expression depth (default 3)
+	// InteriorZeroProb, when positive, excludes each non-innermost loop
+	// variable from a reference's index functions with this probability —
+	// biasing references toward zero coefficients at interior walk depths
+	// (`a[i][k]` under an `i,j,k` nest), the shapes the simulator's
+	// per-subtree steady-state extrapolation collapses. The innermost
+	// variable is never excluded, so references stay non-constant. Zero
+	// (the default) draws nothing from the rng and leaves generated
+	// programs identical to earlier seeds.
+	InteriorZeroProb float64
 }
 
 func (c Config) withDefaults() Config {
@@ -77,19 +86,32 @@ func tryNest(rng *rand.Rand, cfg Config, attempt int) *ir.Nest {
 	nArr := 2 + rng.Intn(cfg.MaxArrays-1)
 	arrays := make([]*ir.Array, 0, nArr)
 	mkRef := func(arrIdx int) *ir.ArrayRef {
+		// The usable variables of this reference: with InteriorZeroProb set,
+		// each non-innermost variable is dropped (across every dimension, so
+		// its flat-index coefficient is zero) with that probability.
+		use := vars
+		if cfg.InteriorZeroProb > 0 {
+			use = make([]string, 0, depth)
+			for vi, v := range vars {
+				if vi < depth-1 && rng.Float64() < cfg.InteriorZeroProb {
+					continue
+				}
+				use = append(use, v)
+			}
+		}
 		// Index: a random non-constant affine per dimension.
 		dims := 1 + rng.Intn(2)
 		idx := make([]ir.Affine, dims)
 		sizes := make([]int, dims)
 		for d := 0; d < dims; d++ {
 			a := ir.AffConst(rng.Intn(2))
-			for _, v := range vars {
+			for _, v := range use {
 				if rng.Intn(2) == 0 {
 					a = a.Add(ir.AffTerm(1+rng.Intn(2), v, 0))
 				}
 			}
 			if a.IsConst() {
-				a = a.Add(ir.AffVar(vars[rng.Intn(depth)]))
+				a = a.Add(ir.AffVar(use[rng.Intn(len(use))]))
 			}
 			_, hi := a.RangeOver(loops)
 			idx[d] = a

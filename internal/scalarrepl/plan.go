@@ -74,6 +74,14 @@ func NewPlan(nest *ir.Nest, infos []*reuse.Info, beta map[string]int) (*Plan, er
 	if nest.Depth() == 0 {
 		return nil, fmt.Errorf("scalarrepl: empty nest")
 	}
+	// The window enumeration below (and every downstream walker) advances
+	// loop variables by Step; a hand-built nest that skipped ir.NewNest /
+	// Validate could otherwise hang it with a zero or negative step.
+	for _, l := range nest.Loops {
+		if l.Step <= 0 {
+			return nil, fmt.Errorf("scalarrepl: loop %q has non-positive step %d (validate the nest with ir.NewNest)", l.Var, l.Step)
+		}
+	}
 	p := &Plan{Nest: nest, Entries: map[string]*Entry{}}
 	refsPerArray := map[string]int{}
 	arrayWritten := map[string]bool{}

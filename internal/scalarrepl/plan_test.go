@@ -300,3 +300,25 @@ func TestHitInnerMatchesHit(t *testing.T) {
 		}
 	}
 }
+
+// TestNewPlanRejectsBadSteps: the window enumeration advances the innermost
+// variable by Step — a hand-built nest with a non-positive step must error
+// out instead of hanging it.
+func TestNewPlanRejectsBadSteps(t *testing.T) {
+	nest := dsl.MustParse(figure1Src)
+	for _, step := range []int{0, -1} {
+		bad := &ir.Nest{Name: "bad", Loops: append([]ir.Loop(nil), nest.Loops...), Body: nest.Body}
+		bad.Loops[len(bad.Loops)-1].Step = step
+		infos, err := reuse.Analyze(nest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beta := map[string]int{}
+		for _, inf := range infos {
+			beta[inf.Key()] = 1
+		}
+		if _, err := NewPlan(bad, infos, beta); err == nil {
+			t.Fatalf("NewPlan accepted step %d", step)
+		}
+	}
+}

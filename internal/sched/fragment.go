@@ -64,6 +64,13 @@ func (s *Simulator) SimulateGraph(nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.
 	if cfg.PortsPerRAM < 1 {
 		return nil, fmt.Errorf("sched: PortsPerRAM must be ≥1, got %d", cfg.PortsPerRAM)
 	}
+	// The walkers advance loop variables by Step; reject hand-built nests
+	// with zero/negative steps instead of spinning forever.
+	for _, l := range nest.Loops {
+		if l.Step <= 0 {
+			return nil, fmt.Errorf("sched: loop %q has non-positive step %d (validate the nest with ir.NewNest)", l.Var, l.Step)
+		}
+	}
 	order := plan.Order()
 	depth := nest.Depth()
 
@@ -272,20 +279,33 @@ func fragmentKey(nestFP string, nest *ir.Nest, e *scalarrepl.Entry, pattern []bo
 //     the whole space to one region sub-space (loops at and below the
 //     reuse level, outer loops pinned to their lower bounds).
 //
-//   - steady state: walk loops (other than the innermost, whose position
-//     drives the hit vector) whose variable has zero coefficient in the
-//     entry's flat-index form repeat an identical access sequence every
-//     iteration. The replay automaton is deterministic, so its state
-//     (resident set + dirty bits) over those repetitions is eventually
-//     periodic: the leading zero-coefficient loops are collapsed by
-//     replaying until the state recurs and extrapolating the cycle —
-//     typically one or two repetitions instead of thousands (an
-//     image-template or loop-invariant reference re-reads the same window
-//     under every outer iteration).
+//   - steady state: at every walk depth other than the innermost (whose
+//     position drives the hit vector), successive iterations of the loop
+//     replay the same access sequence translated by the loop's flat-index
+//     contribution coef×step per iteration — for a zero-coefficient loop
+//     the very same sequence. The replay automaton is deterministic and
+//     commutes with translation, so its state over those iterations is
+//     eventually periodic modulo translation: each loop is collapsed by
+//     walking until the state (resident set + dirty bits, flats normalized
+//     by the accumulated shift) recurs, then skipping the whole cycles
+//     that remain — their loads/stores repeat the detected cycle's exactly
+//     and the end state is the current state translated by the skipped
+//     span. Collapses compose across depths, so a BIC-shaped nest costs
+//     O(transient × cycle × inner trip) instead of O(trip product), at any
+//     mix of zero and non-zero interior coefficients.
 //
 // Eviction picks the smallest resident flat; a min-heap mirror of the
 // resident set makes that O(log coverage) instead of a linear scan.
 func computeFragment(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, hitAt []bool) simcache.Fragment {
+	frag, _ := computeFragmentWalked(nest, e, pattern, hitAt)
+	return frag
+}
+
+// computeFragmentWalked is computeFragment plus the number of innermost
+// iteration points the walker actually visited — the extrapolation
+// effectiveness metric the regression tests pin (walked ≪ trip product on
+// kernels with collapsible interior loops).
+func computeFragmentWalked(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, hitAt []bool) (simcache.Fragment, int) {
 	depth := nest.Depth()
 	level := e.Info.ReuseLevel
 	if level < 0 {
@@ -295,8 +315,8 @@ func computeFragment(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, hitAt [
 	for _, l := range nest.Loops[:level] {
 		regions *= l.Trip()
 	}
-	if regions == 0 || len(pattern) == 0 {
-		return simcache.Fragment{}
+	if depth == 0 || regions == 0 || len(pattern) == 0 {
+		return simcache.Fragment{}, 0
 	}
 	aff := e.FlatAffine()
 	base := aff.Const
@@ -307,73 +327,132 @@ func computeFragment(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, hitAt [
 			base += coef[d] * l.Lo
 		}
 	}
-	// Collapse the leading zero-coefficient walk loops into a repetition
-	// count. The innermost loop always stays in the walked body: the hit
-	// vector varies with its position even when the flat index does not.
-	reps := 1
-	start := level
-	for start < depth-1 && coef[start] == 0 {
-		reps *= nest.Loops[start].Trip()
-		start++
+	// subPoints[d] is the iteration-point count of one subtree below depth
+	// d — what one iteration of loop d costs to walk, and so what a cycle
+	// detection at depth d can hope to save per skipped iteration.
+	subPoints := make([]int, depth)
+	subPoints[depth-1] = 1
+	for d := depth - 2; d >= 0; d-- {
+		subPoints[d] = subPoints[d+1] * nest.Loops[d+1].Trip()
 	}
-	if reps == 0 {
-		return simcache.Fragment{}
+	w := &fragWalker{
+		nest: nest, depth: depth, coef: coef, subPoints: subPoints,
+		dead: make([]bool, depth),
+		cov:  e.Coverage, pattern: pattern, hitAt: hitAt, st: newReplay(e.Coverage),
 	}
+	w.walk(level, base)
+	// The region-end flush writes back whatever is dirty after the walk.
+	stores := w.st.stores + w.st.dirtyCount()
+	return simcache.Fragment{Loads: regions * w.st.loads, Stores: regions * stores}, w.walked
+}
 
-	st := newReplay(e.Coverage)
-	// rep runs the walked body (loops start..depth-1) once.
-	var walk func(d, flat int)
-	walk = func(d, flat int) {
-		l := nest.Loops[d]
-		if d == depth-1 {
-			pos := 0
-			for v := l.Lo; v < l.Hi; v += l.Step {
-				if hitAt[pos] {
-					f := flat + coef[d]*v
-					for _, w := range pattern {
-						st.access(f, w)
-					}
+// maxTrackedStates caps the cycle-detection history of one walk loop: past
+// it, detection at that depth is abandoned and the remaining iterations
+// accumulate plainly, so a huge-trip loop whose automaton state never
+// recurs degrades in time, never in memory. The automaton has at most
+// O(footprint^coverage) states but real affine references recur within a
+// transient of O(coverage) iterations; the cap is far above that. A
+// variable only so the fallback path is testable at small trip counts.
+var maxTrackedStates = 4096
+
+// fragWalker runs one reuse region of a single entry's transfer replay,
+// extrapolating every walk loop whose automaton state recurs modulo
+// translation. The innermost loop is always walked in full: the hit vector
+// varies with its position even when the flat index does not.
+type fragWalker struct {
+	nest      *ir.Nest
+	depth     int
+	coef      []int  // flat-index coefficient per loop depth
+	subPoints []int  // iteration points of one subtree below each depth
+	dead      []bool // depths whose detection came up empty over a full pass
+	cov       int    // entry coverage (bounds the signature size)
+	pattern   []bool
+	hitAt     []bool
+	st        *replay
+	walked    int // innermost iteration points visited (diagnostic)
+}
+
+func (w *fragWalker) walk(d, flat int) {
+	l := w.nest.Loops[d]
+	if d == w.depth-1 {
+		pos := 0
+		for v := l.Lo; v < l.Hi; v += l.Step {
+			if w.hitAt[pos] {
+				f := flat + w.coef[d]*v
+				for _, wr := range w.pattern {
+					w.st.access(f, wr)
 				}
-				pos++
+			}
+			pos++
+		}
+		w.walked += pos
+		return
+	}
+	trip := l.Trip()
+	// Successive iterations of this loop replay the subtree's access
+	// sequence translated by delta. The automaton state after k iterations,
+	// normalized by delta·k, recurring at an earlier iteration q makes
+	// iterations q+1.. periodic with period k−q: per-iteration loads and
+	// stores repeat the cycle's exactly, and state after q+j iterations is
+	// the state after k+j translated by −delta·(k−q). So once a recurrence
+	// is found, only the remainder-of-cycle tail is walked for real; the
+	// skipped full cycles contribute n×(cycle loads/stores) and one state
+	// translation by the span they cover.
+	delta := w.coef[d] * l.Step
+	sub := func(k int) { w.walk(d+1, flat+w.coef[d]*(l.Lo+k*l.Step)) }
+	// A state snapshot costs O(coverage); one skipped iteration saves a
+	// subtree walk. When the subtree is smaller than the resident set and
+	// the loop short, detection costs more than the walk it could save —
+	// walk plainly and let an enclosing (bigger-subtree) depth collapse.
+	// A depth marked dead — a full earlier pass found no recurrence (e.g.
+	// the transient spans the whole trip, stride accesses thrashing the
+	// window) — walks plainly too: its later passes start from states at
+	// least as irregular. Both are heuristics over which exact snapshots
+	// to take; they never affect the result.
+	if w.dead[d] || (w.subPoints[d] < w.cov && trip <= 4*w.cov) {
+		for k := 0; k < trip; k++ {
+			sub(k)
+		}
+		return
+	}
+	seen := map[string]int{string(w.st.signature(0)): 0}
+	cumL := []int{w.st.loads}
+	cumS := []int{w.st.stores}
+	tracking := true
+	for k := 1; k <= trip; k++ {
+		sub(k - 1)
+		if k == trip {
+			// Completed every iteration with detection enabled and no
+			// recurrence: stop snapshotting this depth for the rest of the
+			// fragment.
+			w.dead[d] = tracking
+			return
+		}
+		if !tracking {
+			continue
+		}
+		sig := w.st.signature(delta * k)
+		if q, ok := seen[string(sig)]; ok {
+			cycle := k - q
+			cycL := w.st.loads - cumL[q]
+			cycS := w.st.stores - cumS[q]
+			n := (trip - k) / cycle
+			for j := 0; j < (trip-k)%cycle; j++ {
+				sub(k + j)
+			}
+			if n > 0 {
+				w.st.loads += n * cycL
+				w.st.stores += n * cycS
+				w.st.translate(delta * cycle * n)
 			}
 			return
 		}
-		for v := l.Lo; v < l.Hi; v += l.Step {
-			walk(d+1, flat+coef[d]*v)
+		if len(seen) >= maxTrackedStates {
+			tracking = false
+			continue
 		}
+		seen[string(sig)] = k
+		cumL = append(cumL, w.st.loads)
+		cumS = append(cumS, w.st.stores)
 	}
-
-	// Replay repetitions with cycle detection over the automaton state.
-	// cumL/cumS/dirtyAt[r] describe the state after r repetitions; a
-	// recurrence s_i == s_r makes the remainder periodic with period r-i.
-	cumL := []int{0}
-	cumS := []int{0}
-	dirtyAt := []int{0}
-	seen := map[string]int{st.signature(): 0}
-	loads, stores, finalDirty := 0, 0, 0
-	for r := 1; ; r++ {
-		walk(start, base)
-		cumL = append(cumL, st.loads)
-		cumS = append(cumS, st.stores)
-		dirtyAt = append(dirtyAt, st.dirtyCount())
-		if r == reps {
-			loads, stores, finalDirty = cumL[r], cumS[r], dirtyAt[r]
-			break
-		}
-		sig := st.signature()
-		if i, ok := seen[sig]; ok {
-			cycle := r - i
-			n := (reps - i) / cycle
-			tail := (reps - i) % cycle
-			loads = cumL[i] + n*(cumL[r]-cumL[i]) + (cumL[i+tail] - cumL[i])
-			stores = cumS[i] + n*(cumS[r]-cumS[i]) + (cumS[i+tail] - cumS[i])
-			finalDirty = dirtyAt[i+tail]
-			break
-		}
-		seen[sig] = r
-	}
-	// The region-end flush writes back whatever is dirty after the last
-	// repetition.
-	stores += finalDirty
-	return simcache.Fragment{Loads: regions * loads, Stores: regions * stores}
 }

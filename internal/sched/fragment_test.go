@@ -13,6 +13,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dfg"
 	"repro/internal/ir"
 	"repro/internal/irgen"
@@ -76,6 +77,10 @@ func TestFragmentSimMatchesOraclesOnKernels(t *testing.T) {
 
 // TestFragmentSimMatchesOraclesOnRandomNests extends the differential to
 // random programs and scheduler configurations, still sharing one cache.
+// Odd trials bias the generator toward interior zero-coefficient references
+// (a non-innermost variable dropped from a reference with 35% probability)
+// — the shapes the per-subtree extrapolation collapses, underrepresented in
+// unbiased draws.
 func TestFragmentSimMatchesOraclesOnRandomNests(t *testing.T) {
 	trials := 40
 	if testing.Short() {
@@ -84,7 +89,11 @@ func TestFragmentSimMatchesOraclesOnRandomNests(t *testing.T) {
 	cache := simcache.New()
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < trials; trial++ {
-		nest := irgen.Nest(rng, irgen.Config{})
+		gcfg := irgen.Config{}
+		if trial%2 == 1 {
+			gcfg.InteriorZeroProb = 0.35
+		}
+		nest := irgen.Nest(rng, gcfg)
 		g, err := dfg.Build(nest)
 		if err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
@@ -120,7 +129,11 @@ func TestFragmentSimSingleBetaPerturbations(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < trials; trial++ {
-		nest := irgen.Nest(rng, irgen.Config{})
+		gcfg := irgen.Config{}
+		if trial%2 == 1 {
+			gcfg.InteriorZeroProb = 0.35
+		}
+		nest := irgen.Nest(rng, gcfg)
 		g, err := dfg.Build(nest)
 		if err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
@@ -219,5 +232,156 @@ func TestFragmentCacheReusesUnchangedEntries(t *testing.T) {
 	after := cache.Snapshot()
 	if got := after.EntryMisses - again.EntryMisses; got > 1 {
 		t.Fatalf("single-β perturbation recomputed %d fragments, want ≤ 1 (%+v -> %+v)", got, again, after)
+	}
+}
+
+// fragmentInputs builds the per-entry fragment inputs of a kernel's CPA-RA
+// plan — the regression tests below drive computeFragmentWalked directly.
+func fragmentInputs(t *testing.T, k kernels.Kernel) (*scalarrepl.Plan, [][]bool, map[string][]bool) {
+	t.Helper()
+	prob, err := core.NewProblem(k.Nest, k.Rmax, dfg.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := (core.CPARA{}).Allocate(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, innerHitVectors(k.Nest, plan.Order()), accessPatterns(k.Nest, plan)
+}
+
+// TestInteriorCollapseTriggers pins the extrapolation down with walk
+// counters: on BIC (whose img[i+m][j+n] reference has no zero coefficient
+// at all, so only the translation-aware per-subtree detector can collapse
+// it) and on an x[i+k]-under-(i,j,k) nest (interior zero-coefficient j
+// after a non-zero i — the exact shape the leading-prefix collapse missed),
+// every covered entry must walk a small fraction of its trip product. The
+// three-way differential on the same nests guards exactness.
+func TestInteriorCollapseTriggers(t *testing.T) {
+	interior := kernels.Kernel{
+		Name: "interior",
+		Rmax: 64,
+		Nest: mustNest(t, "interior", []ir.Loop{
+			{Var: "i", Lo: 0, Hi: 64, Step: 1},
+			{Var: "j", Lo: 0, Hi: 64, Step: 1},
+			{Var: "k", Lo: 0, Hi: 16, Step: 1},
+		}, func(arrs map[string]*ir.Array) []*ir.Assign {
+			y, x := arrs["y"], arrs["x"]
+			ref := ir.Ref(x, ir.AffVar("i").Add(ir.AffVar("k")))
+			lhs := ir.Ref(y, ir.AffVar("i"), ir.AffVar("j"))
+			return []*ir.Assign{{LHS: lhs, RHS: ir.Bin(ir.OpAdd, lhs.Clone(), ref)}}
+		}),
+	}
+	for _, k := range []kernels.Kernel{kernels.BIC(), interior} {
+		plan, hitAt, pats := fragmentInputs(t, k)
+		trips := k.Nest.IterationCount()
+		collapsed := false
+		for i, e := range plan.Order() {
+			if e.Coverage == 0 {
+				continue
+			}
+			_, walked := computeFragmentWalked(k.Nest, e, pats[e.Info.Key()], hitAt[i])
+			if walked*10 > trips {
+				t.Errorf("%s/%s: walked %d of %d iteration points — interior collapse did not trigger",
+					k.Name, e.Info.Key(), walked, trips)
+			} else {
+				collapsed = true
+			}
+		}
+		if !collapsed {
+			t.Fatalf("%s: no covered entry exercised the collapse", k.Name)
+		}
+		g, err := dfg.Build(k.Nest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkThreeWay(t, k.Name, simcache.New(), k.Nest, g, plan, DefaultConfig())
+	}
+}
+
+// mustNest assembles a validated nest whose array shapes are derived from
+// the index ranges (the helper sizes arrays to fit, then ir.NewNest
+// validates the result).
+func mustNest(t *testing.T, name string, loops []ir.Loop, body func(map[string]*ir.Array) []*ir.Assign) *ir.Nest {
+	t.Helper()
+	arrs := map[string]*ir.Array{
+		"y": ir.NewArray("y", 16, 64, 64),
+		"x": ir.NewArray("x", 8, 80),
+	}
+	n, err := ir.NewNest(name, loops, body(arrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestFragmentHistoryCapFallsBack shrinks the tracked-state cap to force
+// the plain-accumulation fallback and re-runs the kernel differential: past
+// the cap the walker must keep producing exact results, just without
+// extrapolation.
+func TestFragmentHistoryCapFallsBack(t *testing.T) {
+	old := maxTrackedStates
+	maxTrackedStates = 2
+	defer func() { maxTrackedStates = old }()
+	for _, k := range []kernels.Kernel{kernels.FIR(), kernels.MAT(), kernels.Figure1()} {
+		g, err := dfg.Build(k.Nest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		for _, plan := range referencePlans(t, k.Nest, k.Rmax, cfg.Lat) {
+			checkThreeWay(t, k.Name+"/capped", simcache.New(), k.Nest, g, plan, cfg)
+		}
+	}
+}
+
+// TestSimulateGraphRejectsBadSteps: a hand-built nest with a zero or
+// negative step must produce an error, not an endless walk. (Validated
+// construction paths — the DSL parser, ir.NewNest, dfg.Build — reject such
+// nests earlier; this guards the SimulateGraph entry that trusts a
+// prebuilt graph.)
+func TestSimulateGraphRejectsBadSteps(t *testing.T) {
+	k := kernels.FIR()
+	g, err := dfg.Build(k.Nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, _ := fragmentInputs(t, k)
+	for _, step := range []int{0, -1} {
+		bad := &ir.Nest{Name: "bad", Loops: append([]ir.Loop(nil), k.Nest.Loops...), Body: k.Nest.Body}
+		bad.Loops[0].Step = step
+		if _, err := SimulateGraph(bad, g, plan, DefaultConfig()); err == nil {
+			t.Fatalf("SimulateGraph accepted step %d", step)
+		}
+	}
+}
+
+// TestFragmentKeyAndValueStability asserts the simcache compatibility
+// contract of the rewrite: fragment keys are unchanged byte for byte (a
+// golden pin on the key grammar) and fragment values stay semantically
+// identical, so stores written by earlier engine versions remain valid.
+func TestFragmentKeyAndValueStability(t *testing.T) {
+	k := kernels.FIR()
+	plan, hitAt, pats := fragmentInputs(t, k)
+	e := plan.ByKey("x[i + k]")
+	key := fragmentKey(nestFingerprint(k.Nest), k.Nest, e, pats[e.Info.Key()])
+	if want := "0:992:1;0:32:1;|c31,l0,k0,1,1|r"; key != want {
+		t.Fatalf("fragment key drifted:\n got %q\nwant %q", key, want)
+	}
+	var idx int
+	for i, x := range plan.Order() {
+		if x == e {
+			idx = i
+		}
+	}
+	frag := computeFragment(k.Nest, e, pats[e.Info.Key()], hitAt[idx])
+	// The sliding FIR window loads each of the 1023 distinct x elements
+	// once (31 covered at a time) and never writes back.
+	if want := (simcache.Fragment{Loads: 1022, Stores: 0}); frag != want {
+		t.Fatalf("fragment value drifted: got %+v, want %+v", frag, want)
 	}
 }

@@ -1,9 +1,8 @@
 package sched
 
 import (
+	"encoding/binary"
 	"sort"
-	"strconv"
-	"strings"
 )
 
 // replay is the transfer-protocol automaton of one covered entry: which
@@ -12,12 +11,21 @@ import (
 // exactly — first touch loads (reads only), capacity eviction of the
 // smallest resident flat (write-back when dirty), flush on demand — with
 // the resident set mirrored in a min-heap so eviction is O(log coverage)
-// instead of a scan.
+// instead of a scan, and the dirty count maintained incrementally so the
+// per-subtree walker's state snapshots never rescan the resident set.
 type replay struct {
 	capacity      int
 	dirty         map[int]bool
 	heap          []int // min-heap over the resident flats
+	ndirty        int   // resident elements with the dirty bit set
 	loads, stores int
+
+	// Scratch buffers reused across signature calls: the per-subtree walker
+	// takes a snapshot per iteration of every non-innermost walk loop, so
+	// building one must not allocate. Callers consume the returned bytes
+	// (map probe or interning copy) before the next signature call.
+	sigBuf  []byte
+	sortBuf []int
 }
 
 func newReplay(capacity int) *replay {
@@ -31,6 +39,7 @@ func (r *replay) access(flat int, w bool) {
 			victim := r.popMin()
 			if r.dirty[victim] {
 				r.stores++
+				r.ndirty--
 			}
 			delete(r.dirty, victim)
 		}
@@ -40,40 +49,59 @@ func (r *replay) access(flat int, w bool) {
 		r.dirty[flat] = false
 		r.push(flat)
 	}
-	if w {
+	if w && !r.dirty[flat] {
 		r.dirty[flat] = true
+		r.ndirty++
 	}
 }
 
 // dirtyCount returns how many resident elements a flush would write back.
-func (r *replay) dirtyCount() int {
-	n := 0
-	for _, d := range r.dirty {
-		if d {
-			n++
-		}
-	}
-	return n
-}
+// O(1): the count is maintained by access/eviction/translate.
+func (r *replay) dirtyCount() int { return r.ndirty }
 
 // signature renders the automaton state (resident flats with dirty bits)
-// canonically, for cycle detection. Transfer counters are excluded — they
-// are outputs, not state.
-func (r *replay) signature() string {
-	flats := make([]int, 0, len(r.dirty))
-	for f := range r.dirty {
-		flats = append(flats, f)
-	}
+// canonically, normalized by subtracting offset from every flat — the
+// translation-aware form the per-subtree cycle detector compares: two
+// states yield equal signatures iff one is the other translated by the
+// difference of their offsets, dirty bits aligned. Transfer counters are
+// excluded — they are outputs, not state. The returned slice aliases an
+// internal scratch buffer valid until the next signature call; detectors
+// probe maps with string(sig) (no allocation) and copy only on insert.
+func (r *replay) signature(offset int) []byte {
+	// The heap mirrors the resident set exactly; copying it avoids a Go map
+	// iteration (the dominant cost of a snapshot at real coverages).
+	flats := append(r.sortBuf[:0], r.heap...)
 	sort.Ints(flats)
-	var b strings.Builder
+	buf := r.sigBuf[:0]
 	for _, f := range flats {
-		b.WriteString(strconv.Itoa(f))
+		buf = binary.AppendVarint(buf, int64(f-offset))
 		if r.dirty[f] {
-			b.WriteByte('*')
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
 		}
-		b.WriteByte(',')
 	}
-	return b.String()
+	r.sortBuf, r.sigBuf = flats, buf
+	return buf
+}
+
+// translate shifts every resident flat by delta, preserving dirty bits and
+// counters. Used when the cycle detector skips extrapolated iterations of a
+// non-zero-coefficient loop: the automaton state after the skipped span is
+// the current state translated by the span's accumulated flat offset. A
+// uniform shift preserves the heap order, so the heap is adjusted in place.
+func (r *replay) translate(delta int) {
+	if delta == 0 || len(r.dirty) == 0 {
+		return
+	}
+	shifted := make(map[int]bool, len(r.dirty))
+	for f, d := range r.dirty {
+		shifted[f+delta] = d
+	}
+	r.dirty = shifted
+	for i := range r.heap {
+		r.heap[i] += delta
+	}
 }
 
 // push inserts a flat into the heap. The caller only pushes flats absent

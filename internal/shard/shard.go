@@ -217,6 +217,11 @@ func Run(e dse.Engine, sp dse.Space, p Plan, w io.Writer) (dse.StreamStats, erro
 	if err := p.Validate(); err != nil {
 		return dse.StreamStats{}, err
 	}
+	if sp.PortfolioAll {
+		// Rows carry one design per point; the member diagnostic would be
+		// silently dropped on encode, so refuse it at any shard count.
+		return dse.StreamStats{}, fmt.Errorf("shard: the portfolio-all diagnostic is not supported in shard encodings (rows carry winners only)")
+	}
 	return e.ExploreShardStream(sp, p.Index, p.Count, NewWriter(w, p))
 }
 

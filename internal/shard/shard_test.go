@@ -312,3 +312,15 @@ func ExamplePlan_String() {
 	fmt.Println(Plan{Index: 2, Count: 5})
 	// Output: 2/5
 }
+
+// TestRunRejectsPortfolioAll: the shard encoding carries one design per
+// point, so Run must refuse a portfolio-all space at any shard count
+// rather than silently dropping the member diagnostic on encode.
+func TestRunRejectsPortfolioAll(t *testing.T) {
+	sp := dse.Space{Kernels: []kernels.Kernel{kernels.Figure1()}, Allocators: core.All(), PortfolioAll: true}
+	for _, count := range []int{1, 2} {
+		if _, err := Run(dse.Engine{}, sp, Plan{Index: 0, Count: count}, io.Discard); err == nil {
+			t.Fatalf("Run accepted a portfolio-all space at shard count %d", count)
+		}
+	}
+}
