@@ -14,6 +14,15 @@
 // collapses the allocator axis: each point runs every allocator and keeps
 // the best design by (time, slices, registers).
 //
+// Every run is instrumented (internal/obs): per-stage timings and cache
+// tiers accumulate into a mergeable snapshot that -metrics writes as JSON,
+// -metrics-addr serves over HTTP while the sweep runs, and the stderr
+// stats line summarizes. -trace records bounded per-point stage spans as
+// JSONL; -exectrace captures a runtime execution trace with one region
+// per design point; worker goroutines carry pprof (kernel, stage, shard)
+// labels, so -cpuprofile decomposes by pipeline stage. Report bytes are
+// identical with or without any of these.
+//
 // Usage:
 //
 //	dse                                  # stock 192-point sweep, text table
@@ -22,24 +31,34 @@
 //	dse -devices XCV1000,XC2V6000,XC2V1000 -memlat 1,2,4 -ports 1,2
 //	dse -portfolio -format table         # best allocator per point
 //
+//	dse -metrics m.json -trace t.jsonl > sweep.txt    # observe a sweep
+//	dse -metrics-addr 127.0.0.1:9090 &                # ...or scrape it live
+//	dse -cpuprofile cpu.pprof                         # then: go tool pprof -tags
+//
 //	dse -shard 0/3 -simcache-dir /tmp/sc > s0.jsonl   # one shard per process/host...
 //	dse -shard 1/3 -simcache-dir /tmp/sc > s1.jsonl   # ...sharing simulation work
 //	dse -shard 2/3 -simcache-dir /tmp/sc > s2.jsonl
-//	dse merge -format csv s0.jsonl s1.jsonl s2.jsonl  # ...merged back
+//	dse merge -format csv s0.jsonl s1.jsonl s2.jsonl  # ...merged back, metrics summed
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
+	"sync"
 	"time"
 
 	"repro/internal/dse"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/simcache"
 )
@@ -59,22 +78,29 @@ func main() {
 		deviceList = flag.String("devices", "XCV1000,XC2V6000", "comma-separated device presets")
 		memlatList = flag.String("memlat", "1", "comma-separated RAM access latencies (cycles)")
 		portsList  = flag.String("ports", "1", "comma-separated RAM port counts")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		format     = flag.String("format", "table", "output format: table, csv or json")
-		shardSpec  = flag.String("shard", "", "evaluate one shard i/n of the space and emit the portable shard encoding instead of a report")
-		strict     = flag.Bool("strict", false, "exit non-zero when any design point fails")
-		nocache    = flag.Bool("nocache", false, "disable the cross-point simulation cache (diagnostic; output is byte-identical either way)")
-		portfolio  = flag.Bool("portfolio", false, "run every allocator per point and keep the best design by (time, slices, registers)")
-		pfAll      = flag.Bool("portfolio-all", false, "with -portfolio (implied), additionally report every member allocator's metrics per point (CSV role column, JSON portfolio array, indented table rows)")
-		cacheDir   = flag.String("simcache-dir", "", "back the fragment/schedule store with files in this directory (shared across shard processes)")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		cfg        cliConfig
 	)
+	flag.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.format, "format", "table", "output format: table, csv or json")
+	flag.StringVar(&cfg.shardSpec, "shard", "", "evaluate one shard i/n of the space and emit the portable shard encoding instead of a report")
+	flag.BoolVar(&cfg.strict, "strict", false, "exit non-zero when any design point fails")
+	flag.BoolVar(&cfg.nocache, "nocache", false, "disable the cross-point simulation cache (diagnostic; output is byte-identical either way)")
+	flag.BoolVar(&cfg.portfolio, "portfolio", false, "run every allocator per point and keep the best design by (time, slices, registers)")
+	flag.BoolVar(&cfg.pfAll, "portfolio-all", false, "with -portfolio (implied), additionally report every member allocator's metrics per point (CSV role column, JSON portfolio array, indented table rows)")
+	flag.StringVar(&cfg.cacheDir, "simcache-dir", "", "back the fragment/schedule store with files in this directory (shared across shard processes)")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the stderr stats summary")
+	flag.StringVar(&cfg.metricsPath, "metrics", "", "write the per-stage metrics snapshot as JSON to this file")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve the live metrics snapshot as JSON over HTTP on this address (GET /metrics)")
+	flag.DurationVar(&cfg.linger, "metrics-linger", 0, "with -metrics-addr, keep serving the final snapshot this long after the sweep before exiting")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write bounded per-point stage spans as JSONL to this file")
+	flag.IntVar(&cfg.traceCap, "trace-cap", 0, "per-point trace ring capacity (0 = default 8192; the slowest 64 spans are kept regardless)")
+	flag.StringVar(&cfg.execTracePath, "exectrace", "", "write a runtime execution trace (go tool trace) to this file")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	formatSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "format" {
-			formatSet = true
+			cfg.formatSet = true
 		}
 	})
 	if *cpuProf != "" {
@@ -88,8 +114,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err := run(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList,
-		*workers, *format, *shardSpec, *cacheDir, formatSet, *strict, *nocache, *portfolio, *pfAll)
+	err := run(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList, cfg)
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
 	}
@@ -104,6 +129,18 @@ func main() {
 	}
 }
 
+// cliConfig is the non-space part of the command line.
+type cliConfig struct {
+	workers                     int
+	format, shardSpec, cacheDir string
+	formatSet, strict, nocache  bool
+	portfolio, pfAll, quiet     bool
+	metricsPath, metricsAddr    string
+	linger                      time.Duration
+	tracePath, execTracePath    string
+	traceCap                    int
+}
+
 func writeHeapProfile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -114,68 +151,219 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string,
-	workers int, format, shardSpec, cacheDir string, formatSet, strict, nocache, portfolio, pfAll bool) error {
-	if pfAll && shardSpec != "" {
+// metricsDoc is the -metrics JSON artifact (and the -metrics-addr response
+// body): run totals, the simulation-cache counters and the per-stage obs
+// snapshot. Mergeable by construction — `dse merge` emits the same shape
+// with cache and obs summed across shards.
+type metricsDoc struct {
+	Format     string            `json:"format"`  // "repro-dse-metrics"
+	Version    int               `json:"version"` // 1
+	Points     int               `json:"points"`
+	Failed     int               `json:"failed"`
+	UniqueSims int               `json:"unique_sims"`
+	WallNs     int64             `json:"wall_ns"`
+	Cache      simcache.Snapshot `json:"cache"`
+	Obs        obs.Snapshot      `json:"obs"`
+}
+
+const (
+	metricsFormat  = "repro-dse-metrics"
+	metricsVersion = 1
+)
+
+func writeMetrics(path string, doc metricsDoc) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// metricsServer serves the live metrics snapshot over HTTP. The doc source
+// is swappable: during the sweep it renders live counters; after, the final
+// document — so a scrape during -metrics-linger sees exactly what -metrics
+// wrote.
+type metricsServer struct {
+	ln  net.Listener
+	mu  sync.Mutex
+	doc func() metricsDoc
+}
+
+func serveMetrics(addr string, doc func() metricsDoc) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &metricsServer{ln: ln, doc: doc}
+	mux := http.NewServeMux()
+	h := func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		d := s.doc()
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d)
+	}
+	mux.HandleFunc("/metrics", h)
+	mux.HandleFunc("/", h)
+	go http.Serve(ln, mux)
+	return s, nil
+}
+
+func (s *metricsServer) set(doc metricsDoc) {
+	s.mu.Lock()
+	s.doc = func() metricsDoc { return doc }
+	s.mu.Unlock()
+}
+
+func (s *metricsServer) addr() string { return s.ln.Addr().String() }
+
+func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string, cfg cliConfig) error {
+	if cfg.pfAll && cfg.shardSpec != "" {
 		return errors.New("-portfolio-all is a local diagnostic and cannot be combined with -shard (shard rows carry winners only)")
 	}
 	sp, err := dse.BuildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList)
 	if err != nil {
 		return err
 	}
-	sp.Portfolio = portfolio || pfAll
-	sp.PortfolioAll = pfAll
-	engine := dse.Engine{Workers: workers, NoSimCache: nocache, SimCacheDir: cacheDir}
-	start := time.Now()
+	sp.Portfolio = cfg.portfolio || cfg.pfAll
+	sp.PortfolioAll = cfg.pfAll
 
-	if shardSpec != "" {
-		plan, err := shard.ParsePlan(shardSpec)
+	// Observability is always on in the CLI: the disabled path exists for
+	// library users and the allocation regression tests; one metrics
+	// registry per process costs microseconds against a sweep.
+	metrics := obs.New()
+	var tracer *obs.Tracer
+	if cfg.tracePath != "" {
+		tracer = obs.NewTracer(cfg.traceCap)
+	}
+	engine := dse.Engine{
+		Workers: cfg.workers, NoSimCache: cfg.nocache, SimCacheDir: cfg.cacheDir,
+		Obs: metrics, Trace: tracer,
+	}
+
+	if cfg.execTracePath != "" {
+		f, err := os.Create(cfg.execTracePath)
 		if err != nil {
 			return err
 		}
-		if formatSet {
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
+	}
+
+	start := time.Now()
+	var srv *metricsServer
+	if cfg.metricsAddr != "" {
+		srv, err = serveMetrics(cfg.metricsAddr, func() metricsDoc {
+			return metricsDoc{
+				Format: metricsFormat, Version: metricsVersion,
+				WallNs: int64(time.Since(start)),
+				Obs:    metrics.Snapshot(),
+			}
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.ln.Close()
+		if !cfg.quiet {
+			fmt.Fprintf(os.Stderr, "dse: serving metrics on http://%s/metrics\n", srv.addr())
+		}
+	}
+
+	var st dse.StreamStats
+	var plan shard.Plan
+	if cfg.shardSpec != "" {
+		plan, err = shard.ParsePlan(cfg.shardSpec)
+		if err != nil {
+			return err
+		}
+		metrics.SetBase("shard", plan.String())
+		if cfg.formatSet {
 			fmt.Fprintln(os.Stderr, "dse: note: -format is ignored with -shard; shards always emit the portable encoding (render with `dse merge`)")
 		}
-		st, err := shard.Run(engine, sp, plan, os.Stdout)
+		st, err = shard.Run(engine, sp, plan, os.Stdout)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "dse: shard %s: %d points in %v (%d failed, %s)\n",
-			plan, st.Points, time.Since(start).Round(time.Millisecond), st.Failed, simsNote(st, nocache))
-		if strict {
-			return st.FirstErr
+	} else {
+		rep, rerr := reporter(cfg.format)
+		if rerr != nil {
+			return rerr
 		}
-		return nil
+		// Streaming reporters write per point; buffer stdout so a large
+		// sweep is not O(points) small syscalls.
+		out := bufio.NewWriter(os.Stdout)
+		st, err = engine.ExploreStream(sp, dse.InstrumentReporter(rep.Stream(out), metrics, cfg.format))
+		if err != nil {
+			return err
+		}
+		if err := out.Flush(); err != nil {
+			return err
+		}
 	}
+	wall := time.Since(start)
 
-	rep, err := reporter(format)
-	if err != nil {
-		return err
+	// Final artifacts re-snapshot, so reporter End time is included.
+	doc := metricsDoc{
+		Format: metricsFormat, Version: metricsVersion,
+		Points: st.Points, Failed: st.Failed, UniqueSims: st.UniqueSims,
+		WallNs: int64(wall), Cache: st.Cache, Obs: metrics.Snapshot(),
 	}
-	// Streaming reporters write per point; buffer stdout so a large sweep
-	// is not O(points) small syscalls.
-	out := bufio.NewWriter(os.Stdout)
-	st, err := engine.ExploreStream(sp, rep.Stream(out))
-	if err != nil {
-		return err
+	if cfg.metricsPath != "" {
+		if err := writeMetrics(cfg.metricsPath, doc); err != nil {
+			return err
+		}
 	}
-	if err := out.Flush(); err != nil {
-		return err
+	if cfg.tracePath != "" {
+		if err := writeTrace(cfg.tracePath, tracer); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintf(os.Stderr, "dse: %d points in %v (%d failed, %s)\n",
-		st.Points, time.Since(start).Round(time.Millisecond), st.Failed, simsNote(st, nocache))
-	if strict {
+	if !cfg.quiet {
+		// One Write for the whole summary: concurrent shard processes
+		// sharing a stderr interleave whole summaries, never lines.
+		prefix := "dse"
+		if cfg.shardSpec != "" {
+			prefix = fmt.Sprintf("dse: shard %s", plan)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d points in %v (%d failed, %s)\n%s: stages: %s\n",
+			prefix, st.Points, wall.Round(time.Millisecond), st.Failed, simsNote(st, cfg.nocache),
+			prefix, doc.Obs.Summary(5))
+	}
+	if srv != nil && cfg.linger > 0 {
+		srv.set(doc)
+		time.Sleep(cfg.linger)
+	}
+	if cfg.strict {
 		return st.FirstErr
 	}
 	return nil
+}
+
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runMerge(args []string) error {
 	fs := flag.NewFlagSet("dse merge", flag.ExitOnError)
 	format := fs.String("format", "table", "output format: table, csv or json")
 	strict := fs.Bool("strict", false, "exit non-zero when any design point fails")
+	quiet := fs.Bool("quiet", false, "suppress the stderr stats summary")
+	metricsPath := fs.String("metrics", "", "write the merged (stage-wise summed) metrics snapshot as JSON to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dse merge [-format table|csv|json] [-strict] shard.jsonl ...")
+		fmt.Fprintln(os.Stderr, "usage: dse merge [-format table|csv|json] [-strict] [-quiet] [-metrics m.json] shard.jsonl ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -184,6 +372,7 @@ func runMerge(args []string) error {
 	if fs.NArg() == 0 {
 		return errors.New("no shard files given (usage: dse merge [-format f] shard.jsonl ...)")
 	}
+	start := time.Now()
 	rs, err := shard.MergeFiles(fs.Args()...)
 	if err != nil {
 		return err
@@ -192,8 +381,24 @@ func runMerge(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "dse merge: %d shards, %d points (%d failed, %d unique simulations summed%s)\n",
-		fs.NArg(), len(rs.Results), len(rs.Failed()), rs.UniqueSims, cacheNote(rs.Cache))
+	if *metricsPath != "" {
+		doc := metricsDoc{
+			Format: metricsFormat, Version: metricsVersion,
+			Points: len(rs.Results), Failed: len(rs.Failed()), UniqueSims: rs.UniqueSims,
+			WallNs: int64(time.Since(start)), Cache: rs.Cache, Obs: rs.Obs,
+		}
+		if err := writeMetrics(*metricsPath, doc); err != nil {
+			return err
+		}
+	}
+	if !*quiet {
+		summary := ""
+		if !rs.Obs.Zero() {
+			summary = fmt.Sprintf("\ndse merge: stages: %s", rs.Obs.Summary(5))
+		}
+		fmt.Fprintf(os.Stderr, "dse merge: %d shards, %d points (%d failed, %d unique simulations summed%s)%s\n",
+			fs.NArg(), len(rs.Results), len(rs.Failed()), rs.UniqueSims, cacheNote(rs.Cache), summary)
+	}
 	if err := rep.Report(os.Stdout, rs); err != nil {
 		return err
 	}

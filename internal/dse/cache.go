@@ -5,7 +5,9 @@ import (
 	"sync"
 
 	"repro/internal/dfg"
+	"repro/internal/hls"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/scalarrepl"
 	"repro/internal/sched"
 	"repro/internal/simcache"
@@ -48,13 +50,16 @@ type simEntry struct {
 	err  error
 }
 
-func newSimCache(frag *simcache.Cache) *simCache {
-	return &simCache{m: map[simKey]*simEntry{}, sim: &sched.Simulator{Cache: frag}}
+func newSimCache(frag *simcache.Cache, m *obs.Metrics) *simCache {
+	frag.SetObs(m)
+	return &simCache{m: map[simKey]*simEntry{}, sim: &sched.Simulator{Cache: frag, Obs: m}}
 }
 
-// simulate implements hls.SimFunc.
-func (c *simCache) simulate(kernel string, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (*sched.Result, error) {
-	key := simKey{kernel: kernel, plan: plan.Fingerprint(), lat: cfg.Lat.Fingerprint(), ports: cfg.PortsPerRAM}
+// simulate implements hls.SimFunc. The "sim" span covers the whole lookup —
+// the cache hit path included, so the trace shows what each point paid, not
+// what the simulator cost — and carries the plan-cache outcome as its tier.
+func (c *simCache) simulate(ctx hls.SimCtx, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (*sched.Result, error) {
+	key := simKey{kernel: ctx.Kernel, plan: plan.Fingerprint(), lat: cfg.Lat.Fingerprint(), ports: cfg.PortsPerRAM}
 	c.mu.Lock()
 	e := c.m[key]
 	claimed := e == nil
@@ -65,11 +70,14 @@ func (c *simCache) simulate(kernel string, nest *ir.Nest, g *dfg.Graph, plan *sc
 	c.mu.Unlock()
 	// Hit/miss counts are deterministic for a space: misses count distinct
 	// keys, never worker scheduling.
+	tier := "plan-hit"
 	if claimed {
+		tier = "plan-miss"
 		c.sim.Cache.PlanMiss()
 	} else {
 		c.sim.Cache.PlanHit()
 	}
+	sp := obs.Begin(ctx.Obs, ctx.Trace, ctx.Point, ctx.Kernel, "sim")
 	e.once.Do(func() {
 		// A panic would consume the Once and leave (nil, nil) for every
 		// later claimant of the key; record it as the entry's error so all
@@ -81,6 +89,7 @@ func (c *simCache) simulate(kernel string, nest *ir.Nest, g *dfg.Graph, plan *sc
 		}()
 		e.res, e.err = c.sim.SimulateGraph(nest, g, plan, cfg)
 	})
+	sp.End(tier)
 	return e.res, e.err
 }
 
@@ -90,13 +99,18 @@ func (c *simCache) snapshot() simcache.Snapshot { return c.sim.Cache.Snapshot() 
 // simDirect is the cache-free hls.SimFunc: it wraps a simulation panic in
 // the same error the cache records, so NoSimCache output stays
 // byte-identical to the cached engine on every path, including failures.
-func simDirect(_ string, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (res *sched.Result, err error) {
+// Obs still works — the per-call Simulator carries the metrics, so the
+// fragment collapse split and "sim" spans survive disabling the cache.
+func simDirect(ctx hls.SimCtx, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (res *sched.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			res, err = nil, fmt.Errorf("simulation panic: %v", v)
 		}
 	}()
-	return sched.SimulateGraph(nest, g, plan, cfg)
+	sp := obs.Begin(ctx.Obs, ctx.Trace, ctx.Point, ctx.Kernel, "sim")
+	defer sp.End("")
+	sim := sched.Simulator{Obs: ctx.Obs}
+	return sim.SimulateGraph(nest, g, plan, cfg)
 }
 
 // size returns the number of distinct simulations run so far.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/hls"
 	"repro/internal/ir"
 	"repro/internal/kernels"
 	"repro/internal/scalarrepl"
@@ -40,9 +41,9 @@ func TestSimCachePanicDoesNotPoisonEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := newSimCache(simcache.New())
+	c := newSimCache(simcache.New(), nil)
 	for call := 0; call < 2; call++ {
-		res, err := c.simulate(k.Name, &wider, g, plan, sched.DefaultConfig())
+		res, err := c.simulate(hls.SimCtx{Kernel: k.Name}, &wider, g, plan, sched.DefaultConfig())
 		if res != nil || err == nil {
 			t.Fatalf("call %d: res=%v err=%v, want nil result and memoized panic error", call, res, err)
 		}

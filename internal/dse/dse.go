@@ -24,11 +24,14 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	rtrace "runtime/trace"
 	"sync"
 
 	"repro/internal/hls"
+	"repro/internal/obs"
 	"repro/internal/simcache"
 )
 
@@ -69,6 +72,10 @@ type ResultSet struct {
 	// fragments, class schedules, whole plans); for a merged sharded run
 	// it is the sum over the shard processes.
 	Cache simcache.Snapshot
+	// Obs holds the per-stage timing/counter snapshot of the run (zero when
+	// Engine.Obs was nil); for a merged sharded run it is the stage-wise sum
+	// over the shard processes.
+	Obs obs.Snapshot
 }
 
 // Ok returns the successful results, in point order.
@@ -125,6 +132,17 @@ type Engine struct {
 	// Explore/ExploreShard entries are unaffected — they hold every
 	// result anyway.
 	Window int
+	// Obs, when non-nil, collects per-stage metrics across the whole
+	// pipeline — front-end analysis, allocator runs, planning, simulation
+	// (split by fragment collapse outcome), cache tiers, window occupancy —
+	// and labels worker goroutines with pprof (kernel, stage) pairs so CPU
+	// profiles decompose by stage. Results are byte-identical with or
+	// without it; the final snapshot lands on StreamStats.Obs /
+	// ResultSet.Obs. Nil disables all of it at zero cost.
+	Obs *obs.Metrics
+	// Trace, when non-nil, additionally records one span per stage
+	// execution into the bounded per-point trace ring (see obs.Tracer).
+	Trace *obs.Tracer
 }
 
 func (e Engine) workers() int {
@@ -164,7 +182,7 @@ func (e Engine) ExploreShard(sp Space, shardIndex, shardCount int) (*ResultSet, 
 	if err != nil {
 		return nil, err
 	}
-	return &ResultSet{Space: col.space, Results: col.rows, UniqueSims: st.UniqueSims, Cache: st.Cache}, nil
+	return &ResultSet{Space: col.space, Results: col.rows, UniqueSims: st.UniqueSims, Cache: st.Cache, Obs: st.Obs}, nil
 }
 
 // fragCache builds the fragment/class-schedule store one exploration's
@@ -184,22 +202,44 @@ func (e Engine) fragCache() (*simcache.Cache, error) {
 // point runs every member allocator through the shared sim function and
 // keeps the best design; with members set it also carries every member's
 // design on the result (the -portfolio-all diagnostic).
-func evaluate(an *hls.Analysis, p Point, sim hls.SimFunc, members bool) (res Result) {
+func evaluate(an *hls.Analysis, p Point, sim hls.SimFunc, members bool, m *obs.Metrics, tr *obs.Tracer) (res Result) {
 	defer func() {
 		if v := recover(); v != nil {
 			res = Result{Point: p, Err: fmt.Errorf("estimator panic: %v", v)}
 		}
 	}()
+	opt := p.Options()
+	opt.Obs, opt.Trace, opt.Point = m, tr, p.Index
 	if pf, ok := p.Allocator.(Portfolio); ok {
 		if members {
-			d, ms, err := an.EstimatePortfolioAll(pf.Allocators, p.Options(), sim)
+			d, ms, err := an.EstimatePortfolioAll(pf.Allocators, opt, sim)
 			return Result{Point: p, Design: d, Members: ms, Err: err}
 		}
-		d, err := an.EstimatePortfolio(pf.Allocators, p.Options(), sim)
+		d, err := an.EstimatePortfolio(pf.Allocators, opt, sim)
 		return Result{Point: p, Design: d, Err: err}
 	}
-	d, err := an.EstimateSim(p.Allocator, p.Options(), sim)
+	d, err := an.EstimateSim(p.Allocator, opt, sim)
 	return Result{Point: p, Design: d, Err: err}
+}
+
+// evalPoint is evaluate under the engine's observability: a "point" span
+// spanning the whole per-point pipeline, a runtime/trace user region (so
+// `go tool trace` shows per-point blocks when -exectrace is on), and pprof
+// (kernel, stage) labels on the worker goroutine so CPU profiles decompose
+// by kernel and stage. With obs disabled it is exactly evaluate.
+func (e Engine) evalPoint(an *hls.Analysis, p Point, sim hls.SimFunc, members bool) Result {
+	if e.Obs == nil && e.Trace == nil {
+		return evaluate(an, p, sim, members, nil, nil)
+	}
+	var r Result
+	sp := obs.Begin(e.Obs, e.Trace, p.Index, p.Kernel.Name, "point")
+	e.Obs.Do(func() {
+		rtrace.WithRegion(context.Background(), "point", func() {
+			r = evaluate(an, p, sim, members, e.Obs, e.Trace)
+		})
+	}, "kernel", p.Kernel.Name, "stage", "point")
+	sp.End("")
+	return r
 }
 
 // analyzeKernels builds the memoized front-end of every included kernel
@@ -222,7 +262,16 @@ func (e Engine) analyzeKernels(sp Space, include map[string]bool) (map[string]*h
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			a, err := hls.Analyze(k)
+			var a *hls.Analysis
+			var err error
+			if e.Obs != nil || e.Trace != nil {
+				sp := obs.Begin(e.Obs, e.Trace, -1, k.Name, "analyze")
+				e.Obs.Do(func() { a, err = hls.Analyze(k) },
+					"kernel", k.Name, "stage", "analyze")
+				sp.End("")
+			} else {
+				a, err = hls.Analyze(k)
+			}
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,0 +1,218 @@
+package dse
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// renderAll streams the space through every reporter format under one
+// engine and returns the concatenated output bytes.
+func renderAll(t *testing.T, e Engine, sp Space) ([]byte, StreamStats) {
+	t.Helper()
+	var buf bytes.Buffer
+	var last StreamStats
+	type mk struct {
+		name string
+		sr   StreamReporter
+	}
+	mks := []mk{
+		{"table", TableReporter{}.Stream(&buf)},
+		{"csv", CSVReporter{Pareto: true}.Stream(&buf)},
+		{"json", JSONReporter{Indent: true}.Stream(&buf)},
+	}
+	for _, m := range mks {
+		sr := m.sr
+		if e.Obs != nil {
+			sr = InstrumentReporter(sr, e.Obs, m.name)
+		}
+		st, err := e.ExploreStream(sp, sr)
+		if err != nil {
+			t.Fatalf("%s: ExploreStream: %v", m.name, err)
+		}
+		last = st
+	}
+	return buf.Bytes(), last
+}
+
+// TestObsOutputByteIdentical is the golden contract of the whole layer:
+// attaching metrics, tracing and the instrumented reporter changes no
+// output byte in any format.
+func TestObsOutputByteIdentical(t *testing.T) {
+	sp := smallSpace()
+	plain, _ := renderAll(t, Engine{Workers: 4}, sp)
+	instr, st := renderAll(t, Engine{Workers: 4, Obs: obs.New(), Trace: obs.NewTracer(256)}, sp)
+	if !bytes.Equal(plain, instr) {
+		t.Fatalf("instrumented output differs from plain output:\nplain %d bytes, instrumented %d bytes", len(plain), len(instr))
+	}
+	if st.Obs.Zero() {
+		t.Fatal("instrumented run produced a zero obs snapshot")
+	}
+}
+
+// TestObsStageCoverage pins the stage vocabulary one instrumented
+// exploration produces: every layer of the pipeline must report.
+func TestObsStageCoverage(t *testing.T) {
+	m := obs.New()
+	tr := obs.NewTracer(1024)
+	e := Engine{Workers: 4, Obs: m, Trace: tr}
+	var buf bytes.Buffer
+	st, err := e.ExploreStream(smallSpace(), InstrumentReporter(TableReporter{}.Stream(&buf), m, "table"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Obs
+	for _, stage := range []string{
+		"analyze", "alloc/FR-RA", "alloc/CPA-RA", "plan", "sim",
+		"point", "explore", "window",
+		"cache/plan/hit", "cache/plan/miss", "report/table",
+	} {
+		ss, ok := snap.Stages[stage]
+		if !ok || ss.Count == 0 {
+			t.Errorf("stage %q missing or empty in snapshot (stages: %v)", stage, snap.Names())
+		}
+	}
+	// The fragment collapse split: every fragment computation lands in
+	// exactly one of walk/cycle.
+	walk := snap.Stages["sim/frag/walk"].Count
+	cycle := snap.Stages["sim/frag/cycle"].Count
+	if walk+cycle == 0 {
+		t.Error("no fragment computation recorded in sim/frag/walk or sim/frag/cycle")
+	}
+	if got := walk + cycle; got != snap.Stages["cache/frag/miss"].Count {
+		t.Errorf("fragment computations %d != cache/frag/miss %d (every miss computes exactly once)",
+			got, snap.Stages["cache/frag/miss"].Count)
+	}
+	// 16 points: one "point" span each, and the plan-cache tiers cover them.
+	if snap.Stages["point"].Count != 16 {
+		t.Errorf("point spans = %d, want 16", snap.Stages["point"].Count)
+	}
+	hits := snap.Stages["cache/plan/hit"].Count
+	misses := snap.Stages["cache/plan/miss"].Count
+	if hits+misses != 16 {
+		t.Errorf("plan tiers hit+miss = %d+%d, want 16", hits, misses)
+	}
+	if misses != int64(st.UniqueSims) {
+		t.Errorf("plan misses %d != UniqueSims %d", misses, st.UniqueSims)
+	}
+	// The trace carries per-point sim spans with plan-cache tiers.
+	tiers := map[string]bool{}
+	for _, ev := range tr.Events() {
+		if ev.Stage == "sim" {
+			tiers[ev.Tier] = true
+		}
+	}
+	if !tiers["plan-hit"] || !tiers["plan-miss"] {
+		t.Errorf("trace sim spans carry tiers %v, want both plan-hit and plan-miss", tiers)
+	}
+}
+
+// TestObsCacheTiersMirrorSnapshot: the obs cache tier counters and the
+// simcache stats Snapshot are two views of the same outcomes.
+func TestObsCacheTiersMirrorSnapshot(t *testing.T) {
+	m := obs.New()
+	e := Engine{Workers: 4, Obs: m}
+	rs := mustExplore(t, e, smallSpace())
+	c := rs.Cache
+	snap := rs.Obs
+	cnt := func(name string) int64 { return snap.Stages[name].Count }
+	// Non-claimant lookups split between settled hits and single-flight
+	// waits; the stats counter lumps them.
+	if got := cnt("cache/frag/hit") + cnt("cache/frag/wait"); got != c.EntryHits {
+		t.Errorf("frag hit+wait = %d, stats EntryHits = %d", got, c.EntryHits)
+	}
+	if got := cnt("cache/frag/miss"); got != c.EntryMisses {
+		t.Errorf("frag miss = %d, stats EntryMisses = %d", got, c.EntryMisses)
+	}
+	if got := cnt("cache/class/hit") + cnt("cache/class/wait"); got != c.ClassHits {
+		t.Errorf("class hit+wait = %d, stats ClassHits = %d", got, c.ClassHits)
+	}
+	if got := cnt("cache/class/miss"); got != c.ClassMisses {
+		t.Errorf("class miss = %d, stats ClassMisses = %d", got, c.ClassMisses)
+	}
+	if got := cnt("cache/plan/hit"); got != c.PlanHits {
+		t.Errorf("plan hit = %d, stats PlanHits = %d", got, c.PlanHits)
+	}
+	if got := cnt("cache/plan/miss"); got != c.PlanMisses {
+		t.Errorf("plan miss = %d, stats PlanMisses = %d", got, c.PlanMisses)
+	}
+}
+
+// TestObsDisabledResultSetZero: an engine without obs reports a zero
+// snapshot everywhere it is threaded.
+func TestObsDisabledResultSetZero(t *testing.T) {
+	rs := mustExplore(t, Engine{Workers: 2}, smallSpace())
+	if !rs.Obs.Zero() {
+		t.Fatalf("obs-disabled ResultSet carries a snapshot: %v", rs.Obs.Names())
+	}
+}
+
+// TestObsWindowUnit: the window stage observes occupancy (results), so its
+// max can never exceed the engine window and its count equals the number of
+// completed points.
+func TestObsWindowUnit(t *testing.T) {
+	m := obs.New()
+	e := Engine{Workers: 4, Window: 8, Obs: m}
+	var buf bytes.Buffer
+	st, err := e.ExploreStream(smallSpace(), TableReporter{}.Stream(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.Obs.Stages["window"]
+	if w.Count != int64(st.Points) {
+		t.Errorf("window observations = %d, want one per point (%d)", w.Count, st.Points)
+	}
+	if w.Max > int64(st.MaxWindow) {
+		t.Errorf("window max %d exceeds MaxWindow %d", w.Max, st.MaxWindow)
+	}
+}
+
+// TestObsDisabledHotPathAllocFree pins the satellite contract for the
+// stream-window hot loop: the handle held when obs is disabled adds zero
+// allocations per observation, and the disabled point-span path allocates
+// nothing either.
+func TestObsDisabledHotPathAllocFree(t *testing.T) {
+	var winStats *obs.StageStats // what e.Obs.Stage("window") returns for a nil-Obs engine
+	allocs := testing.AllocsPerRun(1000, func() {
+		winStats.Observe(7)
+		sp := obs.Begin(nil, nil, 3, "fir", "point")
+		sp.End("")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled window/point instrumentation allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestInstrumentReporterPassThrough: nil metrics returns the reporter
+// unwrapped; non-nil wraps and times without altering behavior.
+func TestInstrumentReporterPassThrough(t *testing.T) {
+	var buf bytes.Buffer
+	sr := TableReporter{}.Stream(&buf)
+	if got := InstrumentReporter(sr, nil, "table"); got != sr {
+		t.Fatal("nil metrics should return the reporter unwrapped")
+	}
+	m := obs.New()
+	wrapped := InstrumentReporter(sr, m, "table")
+	if wrapped == sr {
+		t.Fatal("metrics attached should wrap the reporter")
+	}
+	if err := wrapped.Begin(mustNormalize(t, smallSpace()), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrapped.End(StreamStats{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().Stages["report/table"].Count; got != 2 {
+		t.Fatalf("report/table count = %d, want 2 (Begin + End)", got)
+	}
+}
+
+func mustNormalize(t *testing.T, sp Space) Space {
+	t.Helper()
+	n, err := sp.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

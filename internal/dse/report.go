@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/hls"
+	"repro/internal/obs"
 )
 
 // Reporter renders a buffered result set. Every reporter is a thin wrapper
@@ -19,6 +20,40 @@ import (
 // shard partition — produced the set.
 type Reporter interface {
 	Report(w io.Writer, rs *ResultSet) error
+}
+
+// InstrumentReporter wraps a stream reporter so every Begin/Point/End call
+// is timed into the "report/<name>" stage — the reporter-encode cost of the
+// sweep. With a nil Metrics the reporter is returned unwrapped, so the
+// disabled path has zero indirection. Output bytes are untouched either way.
+func InstrumentReporter(sr StreamReporter, m *obs.Metrics, name string) StreamReporter {
+	if m == nil {
+		return sr
+	}
+	return &instrumentedReporter{sr: sr, s: m.Stage("report/" + name)}
+}
+
+type instrumentedReporter struct {
+	sr StreamReporter
+	s  *obs.StageStats
+}
+
+func (i *instrumentedReporter) Begin(sp Space, total int) error {
+	tm := i.s.Start()
+	defer tm.Stop()
+	return i.sr.Begin(sp, total)
+}
+
+func (i *instrumentedReporter) Point(r Result) error {
+	tm := i.s.Start()
+	defer tm.Stop()
+	return i.sr.Point(r)
+}
+
+func (i *instrumentedReporter) End(st StreamStats) error {
+	tm := i.s.Start()
+	defer tm.Stop()
+	return i.sr.End(st)
 }
 
 // replay feeds a buffered result set through a stream reporter.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/hls"
+	"repro/internal/obs"
 	"repro/internal/simcache"
 )
 
@@ -43,6 +44,10 @@ type StreamStats struct {
 	// order-restoring window held — bounded by Engine.Window, and the
 	// memory high-water mark of the streaming path.
 	MaxWindow int
+	// Obs is the per-stage metrics snapshot of the run, taken just before
+	// End is delivered (so End's own encode time is excluded — the CLIs
+	// re-snapshot for their final artifacts). Zero when Engine.Obs was nil.
+	Obs obs.Snapshot
 	// FirstErr is the first per-point error in point order, or nil.
 	FirstErr error
 }
@@ -112,9 +117,15 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 		if err != nil {
 			return StreamStats{}, err
 		}
-		cache = newSimCache(frag)
+		cache = newSimCache(frag, e.Obs)
 		sim = cache.simulate
 	}
+	// The "explore" stage is the engine's own wall clock, stopped before the
+	// snapshot so it lands inside it; "window" observes the order-restoring
+	// window's occupancy (unit: parked results, not nanoseconds) at every
+	// insertion, so its histogram is the window-pressure profile.
+	exploreTm := e.Obs.Stage("explore").Start()
+	winStats := e.Obs.Stage("window")
 
 	var sem chan struct{}
 	if window > 0 {
@@ -130,7 +141,7 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 			defer wg.Done()
 			for i := range idxCh {
 				select {
-				case results <- evaluate(analyses[pts[i].Kernel.Name], pts[i], sim, sp.PortfolioAll):
+				case results <- e.evalPoint(analyses[pts[i].Kernel.Name], pts[i], sim, sp.PortfolioAll):
 				case <-stop:
 					return
 				}
@@ -168,6 +179,7 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 		if len(pending) > st.MaxWindow {
 			st.MaxWindow = len(pending)
 		}
+		winStats.Observe(int64(len(pending)))
 		for next < len(owned) {
 			q, ok := pending[owned[next]]
 			if !ok {
@@ -202,6 +214,8 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 		st.UniqueSims = cache.size()
 		st.Cache = cache.snapshot()
 	}
+	exploreTm.Stop()
+	st.Obs = e.Obs.Snapshot()
 	if err := sr.End(st); err != nil {
 		return st, err
 	}

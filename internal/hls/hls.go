@@ -14,6 +14,7 @@ import (
 	"repro/internal/fpga"
 	"repro/internal/ir"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/reuse"
 	"repro/internal/scalarrepl"
 	"repro/internal/sched"
@@ -25,7 +26,21 @@ type Options struct {
 	Sched  sched.Config
 	// Rmax overrides the kernel's register budget when positive.
 	Rmax int
+	// Obs, when non-nil, receives per-stage timings: the allocator run
+	// ("alloc/<algorithm>", one stage per portfolio member) and the storage
+	// plan build ("plan"). The front-end analysis and the simulation are
+	// timed by their owners (the sweep engine and the SimFunc). Trace
+	// additionally records per-point spans; Point is the global design
+	// point index those spans carry (sweeps set it; standalone estimates
+	// leave it 0). Both nil by default — the disabled path adds no
+	// allocations and no clock reads.
+	Obs   *obs.Metrics
+	Trace *obs.Tracer
+	Point int
 }
+
+// obsOn reports whether any observability sink is attached.
+func (o Options) obsOn() bool { return o.Obs != nil || o.Trace != nil }
 
 // DefaultOptions targets the XCV1000 with single-ported RAM blocks under
 // the default latency model.
@@ -93,10 +108,21 @@ func Estimate(k kernels.Kernel, alg core.Allocator, opt Options) (*Design, error
 	return a.Estimate(alg, opt)
 }
 
+// SimCtx identifies the design point on whose behalf a simulation runs,
+// plus its observability sinks — threaded to SimFunc so caches can
+// attribute the call (which kernel, which global point index) and record
+// stage timings and trace spans against it.
+type SimCtx struct {
+	Kernel string
+	Point  int
+	Obs    *obs.Metrics
+	Trace  *obs.Tracer
+}
+
 // SimFunc runs one cycle simulation on a prebuilt front-end. Sweep engines
 // interpose a cross-design-point cache here (see internal/dse): many points
 // converge to identical plans and can share one simulation.
-type SimFunc func(kernel string, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (*sched.Result, error)
+type SimFunc func(ctx SimCtx, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (*sched.Result, error)
 
 // Estimate evaluates one design point on the cached front-end. It is safe
 // to call concurrently from multiple goroutines.
@@ -109,7 +135,7 @@ func (an *Analysis) Estimate(alg core.Allocator, opt Options) (*Design, error) {
 // DFG is threaded through in either case, so no design point rebuilds it.
 func (an *Analysis) EstimateSim(alg core.Allocator, opt Options, sim SimFunc) (*Design, error) {
 	if sim == nil {
-		sim = func(_ string, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (*sched.Result, error) {
+		sim = func(_ SimCtx, nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.Plan, cfg sched.Config) (*sched.Result, error) {
 			return sched.SimulateGraph(nest, g, plan, cfg)
 		}
 	}
@@ -122,15 +148,34 @@ func (an *Analysis) EstimateSim(alg core.Allocator, opt Options, sim SimFunc) (*
 	if err != nil {
 		return nil, fmt.Errorf("hls: %s: %w", k.Name, err)
 	}
-	alloc, err := alg.Allocate(prob)
+	var alloc *core.Allocation
+	if opt.obsOn() {
+		// One metrics stage per allocator name, so a portfolio point's
+		// member costs read apart; the pprof label stays coarse ("alloc")
+		// to keep profile label cardinality down.
+		sp := obs.Begin(opt.Obs, opt.Trace, opt.Point, k.Name, "alloc/"+alg.Name())
+		opt.Obs.Do(func() { alloc, err = alg.Allocate(prob) },
+			"kernel", k.Name, "stage", "alloc")
+		sp.End("")
+	} else {
+		alloc, err = alg.Allocate(prob)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("hls: %s/%s: %w", k.Name, alg.Name(), err)
 	}
-	plan, err := scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+	var plan *scalarrepl.Plan
+	if opt.obsOn() {
+		sp := obs.Begin(opt.Obs, opt.Trace, opt.Point, k.Name, "plan")
+		plan, err = scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+		sp.End("")
+	} else {
+		plan, err = scalarrepl.NewPlan(k.Nest, prob.Infos, alloc.Beta)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("hls: %s/%s: %w", k.Name, alg.Name(), err)
 	}
-	res, err := sim(k.Name, k.Nest, an.Graph, plan, opt.Sched)
+	res, err := sim(SimCtx{Kernel: k.Name, Point: opt.Point, Obs: opt.Obs, Trace: opt.Trace},
+		k.Nest, an.Graph, plan, opt.Sched)
 	if err != nil {
 		return nil, fmt.Errorf("hls: %s/%s: %w", k.Name, alg.Name(), err)
 	}

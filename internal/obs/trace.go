@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one completed stage execution in the per-point trace: which
+// design point, which stage, when (nanoseconds since the tracer started),
+// how long, and which cache tier answered (when the stage is a cache-aware
+// one, e.g. "plan-hit"). One line of the `dse -trace` JSONL output.
+type Event struct {
+	Point   int    `json:"point"`
+	Kernel  string `json:"kernel,omitempty"`
+	Stage   string `json:"stage"`
+	Tier    string `json:"tier,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// traceMeta is the first line of a trace file: enough for a consumer to
+// validate the schema and know what was dropped.
+type traceMeta struct {
+	Format   string `json:"format"`  // "repro-dse-trace"
+	Version  int    `json:"version"` // 1
+	Cap      int    `json:"cap"`
+	Recorded int64  `json:"recorded"`
+	Kept     int    `json:"kept"`
+	Dropped  int64  `json:"dropped"`
+}
+
+const (
+	traceFormat  = "repro-dse-trace"
+	traceVersion = 1
+
+	// DefaultTraceCap bounds the ring of recent events; past it the oldest
+	// events are overwritten. Separately, the slowest slowCap events ever
+	// seen are retained outside the ring, so one slow point in a million
+	// stays findable after its window scrolls away.
+	DefaultTraceCap = 8192
+	slowCap         = 64
+)
+
+// Tracer collects Events into a bounded ring (most recent DefaultTraceCap
+// or the configured capacity) plus a fixed-size set of the slowest events
+// observed. Memory is O(cap), whatever the sweep size. All methods are
+// nil-safe no-ops. Safe for concurrent use.
+type Tracer struct {
+	mu       sync.Mutex
+	start    time.Time
+	cap      int
+	recent   []Event // ring buffer, insertion order once full wraps at head
+	head     int     // next overwrite position once len(recent) == cap
+	recorded int64
+	slow     []Event // unordered; the slowest slowCap events by DurNs
+}
+
+// NewTracer returns a Tracer keeping at most capacity recent events
+// (capacity ≤ 0 uses DefaultTraceCap). The tracer's clock starts now;
+// Event.StartNs is relative to it.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{start: time.Now(), cap: capacity}
+}
+
+// span records one completed stage execution (internal form used by
+// Span.End: absolute start time, converted here).
+func (t *Tracer) span(point int, kernel, stage, tier string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Record(Event{
+		Point: point, Kernel: kernel, Stage: stage, Tier: tier,
+		StartNs: start.Sub(t.start).Nanoseconds(), DurNs: dur.Nanoseconds(),
+	})
+}
+
+// Record adds one event. Nil-safe.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recorded++
+	if len(t.recent) < t.cap {
+		t.recent = append(t.recent, ev)
+	} else {
+		t.recent[t.head] = ev
+		t.head = (t.head + 1) % t.cap
+	}
+	if len(t.slow) < slowCap {
+		t.slow = append(t.slow, ev)
+		return
+	}
+	minIdx := 0
+	for i := 1; i < len(t.slow); i++ {
+		if t.slow[i].DurNs < t.slow[minIdx].DurNs {
+			minIdx = i
+		}
+	}
+	if ev.DurNs > t.slow[minIdx].DurNs {
+		t.slow[minIdx] = ev
+	}
+}
+
+// Events returns the retained events — the recent ring unioned with the
+// slowest set, deduplicated, in start order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[Event]bool, len(t.recent)+len(t.slow))
+	events := make([]Event, 0, len(t.recent)+len(t.slow))
+	for _, ev := range t.recent {
+		if !seen[ev] {
+			seen[ev] = true
+			events = append(events, ev)
+		}
+	}
+	for _, ev := range t.slow {
+		if !seen[ev] {
+			seen[ev] = true
+			events = append(events, ev)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].StartNs != events[j].StartNs {
+			return events[i].StartNs < events[j].StartNs
+		}
+		return events[i].Point < events[j].Point
+	})
+	return events
+}
+
+// Encode writes the trace as JSONL: one meta line (format, version,
+// recorded/kept/dropped counts), then one line per retained event in start
+// order. Dropped counts events that scrolled out of the ring without
+// making the slowest set.
+func (t *Tracer) Encode(w io.Writer) error {
+	events := t.Events()
+	var recorded int64
+	var capacity int
+	if t != nil {
+		t.mu.Lock()
+		recorded, capacity = t.recorded, t.cap
+		t.mu.Unlock()
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceMeta{
+		Format: traceFormat, Version: traceVersion,
+		Cap: capacity, Recorded: recorded, Kept: len(events), Dropped: recorded - int64(len(events)),
+	}); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerRingKeepsSlowest(t *testing.T) {
+	tr := NewTracer(4)
+	// One very slow early event, then enough fast ones to scroll it out of
+	// the ring; the slowest set must still retain it.
+	tr.Record(Event{Point: 0, Stage: "sim", DurNs: 1 << 40, StartNs: 1})
+	for i := 1; i <= 100; i++ {
+		tr.Record(Event{Point: i, Stage: "sim", DurNs: 10, StartNs: int64(i + 1)})
+	}
+	evs := tr.Events()
+	found := false
+	for _, ev := range evs {
+		if ev.Point == 0 && ev.DurNs == 1<<40 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("slow event evicted from the ring was not retained in the slowest set (%d events kept)", len(evs))
+	}
+	// The ring holds the 4 most recent, so the last events survive too.
+	last := evs[len(evs)-1]
+	if last.Point != 100 {
+		t.Errorf("most recent event = %+v, want point 100", last)
+	}
+}
+
+func TestTracerEncodeSchema(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Point: 3, Kernel: "fir", Stage: "point", StartNs: 5, DurNs: 7})
+	tr.Record(Event{Point: 4, Kernel: "fir", Stage: "sim", Tier: "plan-miss", StartNs: 6, DurNs: 8})
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("empty trace output")
+	}
+	var meta traceMeta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		t.Fatalf("meta line is not JSON: %v", err)
+	}
+	if meta.Format != traceFormat || meta.Version != traceVersion {
+		t.Errorf("meta = %+v, want format %q version %d", meta, traceFormat, traceVersion)
+	}
+	if meta.Recorded != 2 || meta.Kept != 2 || meta.Dropped != 0 {
+		t.Errorf("meta counts = %+v, want recorded 2 kept 2 dropped 0", meta)
+	}
+	n := 0
+	var prev int64 = -1
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line %d is not JSON: %v", n, err)
+		}
+		if ev.Stage == "" || ev.DurNs < 0 {
+			t.Errorf("event line %d invalid: %+v", n, ev)
+		}
+		if ev.StartNs < prev {
+			t.Errorf("events out of start order: %d after %d", ev.StartNs, prev)
+		}
+		prev = ev.StartNs
+		n++
+	}
+	if n != meta.Kept {
+		t.Errorf("file carries %d events, meta says %d", n, meta.Kept)
+	}
+}
+
+func TestTracerDroppedAccounting(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Point: i, Stage: "s", StartNs: int64(i), DurNs: int64(10 - i)})
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var meta traceMeta
+	if err := json.Unmarshal(bytes.SplitN(buf.Bytes(), []byte("\n"), 2)[0], &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Recorded != 10 {
+		t.Errorf("recorded = %d, want 10", meta.Recorded)
+	}
+	// Ring keeps 2, slowest set keeps all 10 here (< slowCap), so nothing
+	// is truly dropped; kept must be the dedup union size.
+	if meta.Kept != 10 || meta.Dropped != 0 {
+		t.Errorf("kept/dropped = %d/%d, want 10/0 (slow set resurrects scrolled events)", meta.Kept, meta.Dropped)
+	}
+	var nilT *Tracer
+	if nilT.Events() != nil {
+		t.Error("nil tracer should return no events")
+	}
+	nilT.Record(Event{}) // must not panic
+}

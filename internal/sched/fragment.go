@@ -35,9 +35,11 @@ package sched
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/dfg"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/scalarrepl"
 	"repro/internal/simcache"
 )
@@ -52,6 +54,13 @@ type Simulator struct {
 	// simulations; nil disables memoization (results are identical either
 	// way — the cache only removes redundant work).
 	Cache *simcache.Cache
+
+	// Obs, when non-nil, receives per-piece stage timings: fragment replays
+	// split by collapse outcome ("sim/frag/cycle" when the walker skipped
+	// whole cycles via steady-state detection, "sim/frag/walk" when it
+	// visited every point) and class scheduling ("sim/class"). Cache hits
+	// record nothing here — the cache's own Snapshot counts them.
+	Obs *obs.Metrics
 }
 
 // SimulateGraph runs the compositional cycle simulation of the nest under
@@ -100,13 +109,13 @@ func (s *Simulator) SimulateGraph(nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.
 			i := i
 			var err error
 			frag, err = s.Cache.Fragment(fragmentKey(nestFP, nest, e, pat), func() (simcache.Fragment, error) {
-				return computeFragment(nest, e, pat, hitAt[i]), nil
+				return s.computeFragmentObs(nest, e, pat, hitAt[i]), nil
 			})
 			if err != nil {
 				return nil, err
 			}
 		} else {
-			frag = computeFragment(nest, e, pat, hitAt[i])
+			frag = s.computeFragmentObs(nest, e, pat, hitAt[i])
 		}
 		loads += frag.Loads
 		stores += frag.Stores
@@ -115,11 +124,32 @@ func (s *Simulator) SimulateGraph(nest *ir.Nest, g *dfg.Graph, plan *scalarrepl.
 	return assembleResult(g, plan, cfg, counts, loads, stores, s.classLen(g, cfg))
 }
 
+// computeFragmentObs is computeFragment plus, when Obs is attached, one
+// timed observation split by collapse outcome: "sim/frag/cycle" when
+// steady-state detection skipped whole cycles, "sim/frag/walk" when every
+// iteration point was visited.
+func (s *Simulator) computeFragmentObs(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, hitAt []bool) simcache.Fragment {
+	if s.Obs == nil {
+		return computeFragment(nest, e, pattern, hitAt)
+	}
+	t0 := time.Now()
+	frag, _, collapsed := computeFragmentWalked(nest, e, pattern, hitAt)
+	d := int64(time.Since(t0))
+	if collapsed {
+		s.Obs.Stage("sim/frag/cycle").Observe(d)
+	} else {
+		s.Obs.Stage("sim/frag/walk").Observe(d)
+	}
+	return frag
+}
+
 // classLen returns the class-length function: memoized per (DFG
 // fingerprint, scheduler config, register-hit set) when a cache is
 // attached, direct scheduling otherwise.
 func (s *Simulator) classLen(g *dfg.Graph, cfg Config) classLenFunc {
 	direct := func(hit map[string]bool) (int, int, error) {
+		tm := s.Obs.Stage("sim/class").Start()
+		defer tm.Stop()
 		iter, err := scheduleClass(g, hit, cfg, false)
 		if err != nil {
 			return 0, 0, err
@@ -297,15 +327,17 @@ func fragmentKey(nestFP string, nest *ir.Nest, e *scalarrepl.Entry, pattern []bo
 // Eviction picks the smallest resident flat; a min-heap mirror of the
 // resident set makes that O(log coverage) instead of a linear scan.
 func computeFragment(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, hitAt []bool) simcache.Fragment {
-	frag, _ := computeFragmentWalked(nest, e, pattern, hitAt)
+	frag, _, _ := computeFragmentWalked(nest, e, pattern, hitAt)
 	return frag
 }
 
 // computeFragmentWalked is computeFragment plus the number of innermost
 // iteration points the walker actually visited — the extrapolation
 // effectiveness metric the regression tests pin (walked ≪ trip product on
-// kernels with collapsible interior loops).
-func computeFragmentWalked(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, hitAt []bool) (simcache.Fragment, int) {
+// kernels with collapsible interior loops) — and whether any walk loop
+// collapsed via steady-state cycle detection (the outcome obs splits
+// fragment timings by).
+func computeFragmentWalked(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, hitAt []bool) (simcache.Fragment, int, bool) {
 	depth := nest.Depth()
 	level := e.Info.ReuseLevel
 	if level < 0 {
@@ -316,7 +348,7 @@ func computeFragmentWalked(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, h
 		regions *= l.Trip()
 	}
 	if depth == 0 || regions == 0 || len(pattern) == 0 {
-		return simcache.Fragment{}, 0
+		return simcache.Fragment{}, 0, false
 	}
 	aff := e.FlatAffine()
 	base := aff.Const
@@ -343,7 +375,7 @@ func computeFragmentWalked(nest *ir.Nest, e *scalarrepl.Entry, pattern []bool, h
 	w.walk(level, base)
 	// The region-end flush writes back whatever is dirty after the walk.
 	stores := w.st.stores + w.st.dirtyCount()
-	return simcache.Fragment{Loads: regions * w.st.loads, Stores: regions * stores}, w.walked
+	return simcache.Fragment{Loads: regions * w.st.loads, Stores: regions * stores}, w.walked, w.collapsed
 }
 
 // maxTrackedStates caps the cycle-detection history of one walk loop: past
@@ -369,7 +401,8 @@ type fragWalker struct {
 	pattern   []bool
 	hitAt     []bool
 	st        *replay
-	walked    int // innermost iteration points visited (diagnostic)
+	walked    int  // innermost iteration points visited (diagnostic)
+	collapsed bool // some depth skipped cycles via steady-state detection
 }
 
 func (w *fragWalker) walk(d, flat int) {
@@ -433,6 +466,7 @@ func (w *fragWalker) walk(d, flat int) {
 		}
 		sig := w.st.signature(delta * k)
 		if q, ok := seen[string(sig)]; ok {
+			w.collapsed = true
 			cycle := k - q
 			cycL := w.st.loads - cumL[q]
 			cycS := w.st.stores - cumS[q]

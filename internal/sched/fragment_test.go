@@ -284,7 +284,7 @@ func TestInteriorCollapseTriggers(t *testing.T) {
 			if e.Coverage == 0 {
 				continue
 			}
-			_, walked := computeFragmentWalked(k.Nest, e, pats[e.Info.Key()], hitAt[i])
+			_, walked, _ := computeFragmentWalked(k.Nest, e, pats[e.Info.Key()], hitAt[i])
 			if walked*10 > trips {
 				t.Errorf("%s/%s: walked %d of %d iteration points — interior collapse did not trigger",
 					k.Name, e.Info.Key(), walked, trips)

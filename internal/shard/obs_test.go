@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/obs"
+)
+
+// TestShardTrailerCarriesObs: an instrumented shard writes its obs
+// snapshot on the trailer line, and Merge sums the snapshots stage-wise —
+// the same Add semantics the property test in internal/obs pins.
+func TestShardTrailerCarriesObs(t *testing.T) {
+	sp := smallSpace()
+	var bufs [2]bytes.Buffer
+	var stats [2]dse.StreamStats
+	for i := 0; i < 2; i++ {
+		e := dse.Engine{Workers: 2, Obs: obs.New()}
+		st, err := Run(e, sp, Plan{Index: i, Count: 2}, &bufs[i])
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if st.Obs.Zero() {
+			t.Fatalf("shard %d produced a zero obs snapshot", i)
+		}
+		stats[i] = st
+	}
+	// The trailer line carries the snapshot verbatim.
+	for i := range bufs {
+		lines := strings.Split(strings.TrimSpace(bufs[i].String()), "\n")
+		var trailer struct {
+			EOF bool          `json:"eof"`
+			Obs *obs.Snapshot `json:"obs"`
+		}
+		if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+			t.Fatalf("shard %d trailer: %v", i, err)
+		}
+		if !trailer.EOF || trailer.Obs == nil {
+			t.Fatalf("shard %d trailer carries no obs snapshot: %s", i, lines[len(lines)-1])
+		}
+		if !reflect.DeepEqual(*trailer.Obs, stats[i].Obs) {
+			t.Errorf("shard %d trailer obs differs from the stream stats snapshot", i)
+		}
+	}
+	rs, err := Merge(bytes.NewReader(bufs[0].Bytes()), bytes.NewReader(bufs[1].Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stats[0].Obs.Add(stats[1].Obs)
+	if !reflect.DeepEqual(rs.Obs, want) {
+		t.Fatalf("merged obs != sum of shard snapshots:\n merged %v\n want %v", rs.Obs, want)
+	}
+}
+
+// TestMergeWithoutObsStaysZero: shard files written without obs merge to a
+// zero snapshot (and older files without the trailer field still decode).
+func TestMergeWithoutObsStaysZero(t *testing.T) {
+	sp := smallSpace()
+	var bufs [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		if _, err := Run(dse.Engine{Workers: 2}, sp, Plan{Index: i, Count: 2}, &bufs[i]); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if strings.Contains(bufs[i].String(), `"obs"`) {
+			t.Fatalf("obs-disabled shard %d encodes an obs trailer field", i)
+		}
+	}
+	rs, err := Merge(io.Reader(bytes.NewReader(bufs[0].Bytes())), bytes.NewReader(bufs[1].Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Obs.Zero() {
+		t.Fatalf("merged obs of uninstrumented shards is non-zero: %v", rs.Obs.Names())
+	}
+}
+
+// TestObsDoesNotChangeShardBytes: the row section of a shard file is
+// byte-identical with and without instrumentation (only the trailer gains
+// the snapshot field).
+func TestObsDoesNotChangeShardBytes(t *testing.T) {
+	sp := smallSpace()
+	var plain, instr bytes.Buffer
+	if _, err := Run(dse.Engine{Workers: 2}, sp, Plan{Index: 0, Count: 2}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(dse.Engine{Workers: 2, Obs: obs.New(), Trace: obs.NewTracer(64)}, sp, Plan{Index: 0, Count: 2}, &instr); err != nil {
+		t.Fatal(err)
+	}
+	pl := strings.Split(strings.TrimSpace(plain.String()), "\n")
+	il := strings.Split(strings.TrimSpace(instr.String()), "\n")
+	if len(pl) != len(il) {
+		t.Fatalf("line counts differ: %d vs %d", len(pl), len(il))
+	}
+	for i := 0; i < len(pl)-1; i++ { // all but the trailer
+		if pl[i] != il[i] {
+			t.Fatalf("line %d differs:\n plain %s\n instr %s", i, pl[i], il[i])
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/dse"
 	"repro/internal/hls"
+	"repro/internal/obs"
 	"repro/internal/simcache"
 )
 
@@ -136,6 +137,10 @@ type line struct {
 	// counters on the trailer; merge sums them across shards. Omitted when
 	// the cache was disabled (and by earlier writers).
 	Cache *simcache.Snapshot `json:"cache,omitempty"`
+	// Obs carries the shard process's per-stage metrics snapshot on the
+	// trailer; merge sums them stage-wise (obs.Snapshot.Add). Omitted when
+	// observability was disabled (and by earlier writers).
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // Writer streams one shard's results into the portable encoding; it
@@ -205,6 +210,10 @@ func (sw *Writer) End(st dse.StreamStats) error {
 		snap := st.Cache
 		ln.Cache = &snap
 	}
+	if !st.Obs.Zero() {
+		snap := st.Obs
+		ln.Obs = &snap
+	}
 	if err := sw.enc.Encode(ln); err != nil {
 		return err
 	}
@@ -231,6 +240,7 @@ type shardFile struct {
 	rows  []line
 	sims  int
 	cache simcache.Snapshot
+	obs   obs.Snapshot
 }
 
 func decode(r io.Reader) (*shardFile, error) {
@@ -266,6 +276,9 @@ func decode(r io.Reader) (*shardFile, error) {
 			f.sims = ln.UniqueSims
 			if ln.Cache != nil {
 				f.cache = *ln.Cache
+			}
+			if ln.Obs != nil {
+				f.obs = *ln.Obs
 			}
 			sawTrailer = true
 			continue
@@ -350,6 +363,7 @@ func merge(readers []io.Reader, names []string) (*dse.ResultSet, error) {
 	filled := make([]bool, len(pts))
 	sims := 0
 	var cache simcache.Snapshot
+	var osnap obs.Snapshot
 	for _, f := range files {
 		plan := f.h.Shard
 		for _, ln := range f.rows {
@@ -390,13 +404,14 @@ func merge(readers []io.Reader, names []string) (*dse.ResultSet, error) {
 		}
 		sims += f.sims
 		cache = cache.Add(f.cache)
+		osnap = osnap.Add(f.obs)
 	}
 	for g, ok := range filled {
 		if !ok {
 			return nil, fmt.Errorf("shard: point %d missing from every shard", g)
 		}
 	}
-	return &dse.ResultSet{Space: sp, Results: results, UniqueSims: sims, Cache: cache}, nil
+	return &dse.ResultSet{Space: sp, Results: results, UniqueSims: sims, Cache: cache, Obs: osnap}, nil
 }
 
 // MergeFiles is Merge over files on disk.

@@ -37,6 +37,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Fragment is one covered plan entry's transfer replay over the whole nest:
@@ -57,10 +60,30 @@ type ClassLen struct {
 
 // entry is one single-flight slot: the first claimant computes (or reads
 // from disk), concurrent claimants block on the once and share the result.
+// done flips after the once completes, so later claimants can tell a settled
+// memory hit from a wait on an in-flight computation.
 type entry[T any] struct {
 	once sync.Once
+	done atomic.Bool
 	val  T
 	err  error
+}
+
+// tiers holds the pre-resolved obs stage handles of one lookup kind. All
+// fields are nil when obs is not attached; StageStats methods no-op on nil,
+// so the lookup paths never branch on enablement.
+type tiers struct {
+	hit  *obs.StageStats // settled in-memory reuse
+	disk *obs.StageStats // value recovered from the backing directory
+	miss *obs.StageStats // fresh computation
+	wait *obs.StageStats // blocked behind another goroutine's in-flight compute (ns histogram)
+}
+
+func (t *tiers) resolve(m *obs.Metrics, kind string) {
+	t.hit = m.Stage("cache/" + kind + "/hit")
+	t.disk = m.Stage("cache/" + kind + "/disk")
+	t.miss = m.Stage("cache/" + kind + "/miss")
+	t.wait = m.Stage("cache/" + kind + "/wait")
 }
 
 // Cache memoizes fragments and class lengths. The zero value is not usable;
@@ -73,6 +96,9 @@ type Cache struct {
 	classes map[string]*entry[ClassLen]
 
 	stats stats
+
+	fragT, classT       tiers
+	planHitT, planMissT *obs.StageStats
 }
 
 // New returns an in-memory cache.
@@ -99,6 +125,21 @@ func NewDir(dir string) (*Cache, error) {
 // Dir returns the backing directory ("" for a memory-only cache).
 func (c *Cache) Dir() string { return c.dir }
 
+// SetObs mirrors the cache's tier outcomes into per-stage obs counters
+// ("cache/{frag,class}/{hit,disk,miss,wait}", "cache/plan/{hit,miss}"),
+// with the wait tier a nanosecond histogram of time spent blocked behind
+// another goroutine's in-flight computation. The stats Snapshot counters
+// are unaffected. Call before concurrent use.
+func (c *Cache) SetObs(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	c.fragT.resolve(m, "frag")
+	c.classT.resolve(m, "class")
+	c.planHitT = m.Stage("cache/plan/hit")
+	c.planMissT = m.Stage("cache/plan/miss")
+}
+
 // Fragment returns the memoized fragment for key, running compute on the
 // first claim (after a disk probe when file-backed). Errors are memoized in
 // memory but never persisted.
@@ -111,27 +152,42 @@ func (c *Cache) Fragment(key string, compute func() (Fragment, error)) (Fragment
 		c.frags[key] = e
 	}
 	c.mu.Unlock()
-	if !claimed {
-		c.stats.entryHits.Add(1)
-	}
-	e.once.Do(func() {
+	fn := func() {
 		defer func() {
 			if v := recover(); v != nil {
 				e.err = fmt.Errorf("simcache: fragment panic: %v", v)
 			}
+			e.done.Store(true)
 		}()
 		var a, b int
 		if c.load("f", key, &a, &b) {
 			c.stats.entryDiskHits.Add(1)
+			c.fragT.disk.Inc()
 			e.val = Fragment{Loads: a, Stores: b}
 			return
 		}
 		c.stats.entryMisses.Add(1)
+		c.fragT.miss.Inc()
 		e.val, e.err = compute()
 		if e.err == nil {
 			c.store("f", key, e.val.Loads, e.val.Stores)
 		}
-	})
+	}
+	if claimed {
+		e.once.Do(fn)
+	} else {
+		c.stats.entryHits.Add(1)
+		if e.done.Load() {
+			// Settled memory hit: the done acquire orders val/err reads.
+			c.fragT.hit.Inc()
+		} else {
+			// In flight on another goroutine: the once blocks until it
+			// settles — the single-flight wait the obs histogram records.
+			tm := c.fragT.wait.Start()
+			e.once.Do(fn)
+			tm.Stop()
+		}
+	}
 	return e.val, e.err
 }
 
@@ -146,35 +202,57 @@ func (c *Cache) ClassLen(key string, compute func() (ClassLen, error)) (ClassLen
 		c.classes[key] = e
 	}
 	c.mu.Unlock()
-	if !claimed {
-		c.stats.classHits.Add(1)
-	}
-	e.once.Do(func() {
+	fn := func() {
 		defer func() {
 			if v := recover(); v != nil {
 				e.err = fmt.Errorf("simcache: class panic: %v", v)
 			}
+			e.done.Store(true)
 		}()
 		var a, b int
 		if c.load("c", key, &a, &b) {
 			c.stats.classDiskHits.Add(1)
+			c.classT.disk.Inc()
 			e.val = ClassLen{Iter: a, Mem: b}
 			return
 		}
 		c.stats.classMisses.Add(1)
+		c.classT.miss.Inc()
 		e.val, e.err = compute()
 		if e.err == nil {
 			c.store("c", key, e.val.Iter, e.val.Mem)
 		}
-	})
+	}
+	if claimed {
+		e.once.Do(fn)
+	} else {
+		c.stats.classHits.Add(1)
+		if e.done.Load() {
+			// Settled memory hit: the done acquire orders val/err reads.
+			c.classT.hit.Inc()
+		} else {
+			// In flight on another goroutine: the once blocks until it
+			// settles — the single-flight wait the obs histogram records.
+			tm := c.classT.wait.Start()
+			e.once.Do(fn)
+			tm.Stop()
+		}
+	}
 	return e.val, e.err
 }
 
 // PlanHit and PlanMiss record the whole-plan simulation cache outcomes the
 // sweep engine's plan-level cache observes, so one snapshot carries all
 // three stages.
-func (c *Cache) PlanHit()  { c.stats.planHits.Add(1) }
-func (c *Cache) PlanMiss() { c.stats.planMisses.Add(1) }
+func (c *Cache) PlanHit() {
+	c.stats.planHits.Add(1)
+	c.planHitT.Inc()
+}
+
+func (c *Cache) PlanMiss() {
+	c.stats.planMisses.Add(1)
+	c.planMissT.Inc()
+}
 
 // path returns the backing file of one key: the kind prefix plus the
 // SHA-256 of the key (keys are long canonical strings; the digest is the

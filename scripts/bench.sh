@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — run the top-level benchmark suite and write the trajectory
-# artifact BENCH_<n>.json (benchstat-comparable raw output wrapped with run
-# metadata; see scripts/benchjson).
+# artifacts: BENCH_<n>.json (benchstat-comparable raw output wrapped with
+# run metadata; see scripts/benchjson) and OBS_<n>.json (the per-stage
+# metrics snapshot of the stock 192-point sweep, so the trajectory carries
+# stage breakdowns, not just top-line ns/op).
 #
 # Usage:
-#   scripts/bench.sh <n> [out-dir]        # run benches, write BENCH_<n>.json
+#   scripts/bench.sh <n> [out-dir]        # run benches, write BENCH_<n>.json + OBS_<n>.json
 #   scripts/bench.sh --extract FILE.json  # print raw text for benchstat
 #
 # Compare two PRs:
@@ -35,3 +37,6 @@ go test -run '^$' -bench "$regex" -benchtime "$btime" -count "$count" . | tee "$
 go run ./scripts/benchjson wrap -pr "$n" -bench "$regex" -count "$count" -benchtime "$btime" \
   < "$raw" > "$outdir/BENCH_$n.json"
 echo "wrote $outdir/BENCH_$n.json" >&2
+
+go run ./cmd/dse -quiet -metrics "$outdir/OBS_$n.json" > /dev/null
+echo "wrote $outdir/OBS_$n.json" >&2
