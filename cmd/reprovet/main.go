@@ -1,0 +1,29 @@
+// Command reprovet is the repo's static-analysis suite: five analyzers
+// that enforce the engine's cache-key, determinism, hot-path, nil-safety
+// and panic-isolation invariants (DESIGN.md §10).
+//
+// It speaks the `go vet -vettool` protocol:
+//
+//	go build -o "$(go env GOPATH)/bin/reprovet" ./cmd/reprovet
+//	go vet -vettool="$(go env GOPATH)/bin/reprovet" ./...
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analyzers/detmap"
+	"repro/internal/analyzers/fingerprintfields"
+	"repro/internal/analyzers/hotpath"
+	"repro/internal/analyzers/nilsafeobs"
+	"repro/internal/analyzers/recoverworker"
+)
+
+func main() {
+	unitchecker.Main(
+		fingerprintfields.Analyzer,
+		detmap.Analyzer,
+		hotpath.Analyzer,
+		nilsafeobs.Analyzer,
+		recoverworker.Analyzer,
+	)
+}

@@ -1,0 +1,236 @@
+// Package antest is a minimal stand-in for
+// golang.org/x/tools/go/analysis/analysistest, which is not shipped in
+// the toolchain's vendored x/tools subset. It loads fixture packages
+// from a testdata/src tree with go/parser + go/types (source importer,
+// std-only imports), runs an analyzer and its Requires closure, and
+// compares diagnostics against `// want` comments.
+//
+// Expectation syntax, same shape as analysistest:
+//
+//	m[k] = v // want `regexp` `another regexp`
+//
+// Each backquoted (or double-quoted) regexp must match a diagnostic
+// reported on that comment's line; diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, fail the
+// test.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the caller package's testdata
+// directory, mirroring analysistest.TestData.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each fixture package under testdata/src/<pkg>, applies the
+// analyzer, and checks its diagnostics against the // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			runOne(t, filepath.Join(testdata, "src", pkg), pkg, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	results := map[*analysis.Analyzer]interface{}{}
+	if err := runAnalyzer(a, fset, files, tpkg, info, results, &diags); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	checkDiagnostics(t, fset, files, diags)
+}
+
+// runAnalyzer executes the analyzer after its Requires closure,
+// memoizing results; only the root analyzer's diagnostics are kept.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info, results map[*analysis.Analyzer]interface{}, diags *[]analysis.Diagnostic) error {
+	if _, done := results[a]; done {
+		return nil
+	}
+	deps := map[*analysis.Analyzer]interface{}{}
+	for _, req := range a.Requires {
+		if err := runAnalyzer(req, fset, files, tpkg, info, results, diags); err != nil {
+			return err
+		}
+		deps[req] = results[req]
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   deps,
+		Report: func(d analysis.Diagnostic) {
+			*diags = append(*diags, d)
+		},
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.Name, err)
+	}
+	results[a] = res
+	return nil
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// A want may be the whole comment or share a line comment
+				// with a //repro: directive under test.
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitPatterns(c.Text[i+len("// want "):]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// splitPatterns parses the tail of a want comment: a sequence of
+// backquoted or double-quoted regexp literals.
+func splitPatterns(s string) []string {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				pats = append(pats, s[1:])
+				return pats
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			var lit string
+			rest := s[1:]
+			for i := 0; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					q, err := strconv.Unquote(s[:i+2])
+					if err == nil {
+						lit = q
+					}
+					rest = rest[i+1:]
+					break
+				}
+			}
+			pats = append(pats, lit)
+			s = strings.TrimSpace(rest)
+		default:
+			return pats
+		}
+	}
+	return pats
+}

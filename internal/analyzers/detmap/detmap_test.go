@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/detmap"
+)
+
+func TestDetMap(t *testing.T) {
+	antest.Run(t, antest.TestData(t), detmap.Analyzer, "det", "detoff")
+}

@@ -1,0 +1,68 @@
+// Package det is a detmap fixture.
+//
+//repro:deterministic-output
+package det
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+func bad(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over map reaches output sink fmt\.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func good(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func escaped(w io.Writer, m map[string]int) {
+	//repro:unordered summing into one line, order-insensitive
+	for k := range m {
+		io.WriteString(w, k)
+	}
+}
+
+func badEscape(w io.Writer, m map[string]int) {
+	//repro:unordered // want `//repro:unordered escape needs a reason`
+	for k := range m {
+		io.WriteString(w, k)
+	}
+}
+
+func builder(m map[int]int) string {
+	var b strings.Builder
+	for k := range m { // want `range over map reaches output sink \(method\) WriteString`
+		b.WriteString(strconv.Itoa(k))
+	}
+	return b.String()
+}
+
+func syncBad(w io.Writer, m *sync.Map) {
+	m.Range(func(k, v any) bool { // want `sync\.Map\.Range callback reaches output sink fmt\.Fprintln`
+		fmt.Fprintln(w, k)
+		return true
+	})
+}
+
+func syncGood(m *sync.Map) map[string]int {
+	out := map[string]int{}
+	m.Range(func(k, v any) bool {
+		out[k.(string)] = v.(int)
+		return true
+	})
+	return out
+}

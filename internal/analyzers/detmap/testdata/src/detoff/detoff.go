@@ -1,0 +1,14 @@
+// Package detoff has not opted into //repro:deterministic-output: the
+// same code that is flagged in package det passes untouched here.
+package detoff
+
+import (
+	"fmt"
+	"io"
+)
+
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

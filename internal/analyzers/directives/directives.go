@@ -1,0 +1,127 @@
+// Package directives parses the //repro: annotation vocabulary the
+// repro-vet analyzers enforce (see DESIGN.md §10):
+//
+//	//repro:hotpath                      function must not allocate
+//	//repro:allowalloc <reason>          per-line escape inside a hot path
+//	//repro:nohash <reason>              struct field exempt from every fingerprint
+//	//repro:nohash Type.Field — <reason> field exempt from one fingerprint func
+//	//repro:deterministic-output         package promises byte-identical output
+//	//repro:unordered <reason>           map-range escape in such a package
+//	//repro:nilsafe                      package's exported pointer methods guard nil
+//	//repro:nonnil <reason>              per-method escape from the nil-guard rule
+//	//repro:recover-workers              package's goroutines must recover panics
+//	//repro:norecover <reason>           per-go-statement escape
+//
+// A directive is a comment line beginning exactly with "//repro:<name>";
+// everything after the name is its argument text. Escapes require a
+// non-empty reason — an unexplained exemption is itself a finding.
+package directives
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const prefix = "//repro:"
+
+// Directive is one parsed //repro: comment line.
+type Directive struct {
+	Name string // e.g. "hotpath", "nohash"
+	Arg  string // trimmed text after the name ("" when absent)
+	Pos  token.Pos
+}
+
+// parse returns the directive on one comment, or ok=false. An embedded
+// "// want" suffix (fixture expectation sharing the directive's line
+// comment) is not part of the directive.
+func parse(c *ast.Comment) (Directive, bool) {
+	text := c.Text
+	if i := strings.Index(text, "// want"); i >= 0 {
+		text = strings.TrimSpace(text[:i])
+	}
+	if !strings.HasPrefix(text, prefix) {
+		return Directive{}, false
+	}
+	rest := text[len(prefix):]
+	name := rest
+	arg := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, arg = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Arg: arg, Pos: c.Pos()}, true
+}
+
+// Group returns every directive in a comment group (nil-safe).
+func Group(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var ds []Directive
+	for _, c := range cg.List {
+		if d, ok := parse(c); ok {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// Named returns the first directive with the given name in the group.
+func Named(cg *ast.CommentGroup, name string) (Directive, bool) {
+	for _, d := range Group(cg) {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// PkgHas reports whether any comment in any of the files declares the
+// package-level directive — how a package opts into an invariant
+// (deterministic-output, nilsafe, recover-workers).
+func PkgHas(files []*ast.File, name string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			if _, ok := Named(cg, name); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LineIndex maps source lines to the directives whose comment starts on
+// them, for one file — the lookup behind per-line escapes such as
+// //repro:allowalloc and //repro:unordered, which may trail the construct
+// they excuse or sit on the line directly above it.
+type LineIndex map[int][]Directive
+
+// IndexFile builds the line index of one file.
+func IndexFile(fset *token.FileSet, f *ast.File) LineIndex {
+	idx := LineIndex{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parse(c); ok {
+				line := fset.Position(c.Pos()).Line
+				idx[line] = append(idx[line], d)
+			}
+		}
+	}
+	return idx
+}
+
+// At returns the directive of the given name attached to a construct on
+// line: on the line itself (trailing comment) or on the line above.
+func (idx LineIndex) At(line int, name string) (Directive, bool) {
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range idx[l] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}

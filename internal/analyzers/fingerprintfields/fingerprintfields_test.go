@@ -1,0 +1,12 @@
+package fingerprintfields_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/fingerprintfields"
+)
+
+func TestFingerprintFields(t *testing.T) {
+	antest.Run(t, antest.TestData(t), fingerprintfields.Analyzer, "fp")
+}

@@ -1,0 +1,124 @@
+package fp
+
+import "encoding/json"
+
+// Clean: every field referenced in the digest.
+type Clean struct {
+	A int
+	B string
+}
+
+func (c *Clean) Fingerprint() int {
+	return c.A + len(c.B)
+}
+
+// Leaky: field B never reaches the hash.
+type Leaky struct {
+	A int
+	B int
+}
+
+func (l *Leaky) Fingerprint() int { // want `Leaky\.Fingerprint does not hash Leaky\.B`
+	return l.A
+}
+
+// Exempt: field-site exemption with a reason passes everywhere.
+type Exempt struct {
+	A    int
+	memo int //repro:nohash derived cache, rebuilt on demand
+}
+
+func (e *Exempt) Fingerprint() int {
+	return e.A
+}
+
+// BadExempt: an exemption without a reason is itself a finding.
+type BadExempt struct {
+	A int
+	B int //repro:nohash // want `//repro:nohash exemption needs a reason`
+}
+
+func (b *BadExempt) Fingerprint() int { // want `BadExempt\.Fingerprint does not hash BadExempt\.B`
+	return b.A
+}
+
+// Marshaled: passing the whole value to a call hashes every field.
+type Marshaled struct {
+	A int
+	B string
+}
+
+func (m Marshaled) Fingerprint() []byte {
+	out, _ := json.Marshal(m)
+	return out
+}
+
+// Pair: function-doc exemption scoped to this fingerprint only.
+type Pair struct {
+	X int
+	Y int
+}
+
+// Fingerprint hashes X; Y is recomputed from it.
+//
+//repro:nohash Y — derived from X on load
+func (p *Pair) Fingerprint() int {
+	return p.X
+}
+
+// OtherPairDigest proves the Pair exemption above does not leak here:
+// Y is mandatory again in a different fingerprint.
+type PairBox struct {
+	P Pair
+}
+
+func (b *PairBox) OtherPairFingerprint() int { // want `PairBox\.OtherPairFingerprint does not hash Pair\.Y`
+	return b.P.X
+}
+
+// Stale: exempting a field that is hashed anyway is reported.
+type Stale struct {
+	X int
+}
+
+// Fingerprint hashes everything, so the exemption below is dead.
+//
+//repro:nohash X — obsolete claim
+func (s *Stale) Fingerprint() int { // want `Stale\.Fingerprint: stale //repro:nohash X`
+	return s.X
+}
+
+// Inner/Outer: structs reached through another struct's fingerprint are
+// covered too (the mutation-check shape: deleting a field read from the
+// loop body must fail the build).
+type Inner struct {
+	P int
+	Q int
+}
+
+type Outer struct {
+	Items []Inner
+}
+
+func (o *Outer) Fingerprint() int { // want `Outer\.Fingerprint does not hash Inner\.Q`
+	t := 0
+	for _, it := range o.Items {
+		t += it.P
+	}
+	return t
+}
+
+// Spec: plain function with a struct parameter as subject.
+type Spec struct {
+	Lo, Hi int
+	Name   string
+}
+
+// specFingerprint pins the bounds; names are not identity.
+//
+//repro:nohash Spec.Name — renaming-invariant by design
+func specFingerprint(s *Spec) int {
+	return s.Lo + s.Hi
+}
+
+var _ = specFingerprint

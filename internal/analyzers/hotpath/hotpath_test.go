@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	antest.Run(t, antest.TestData(t), hotpath.Analyzer, "hot")
+}

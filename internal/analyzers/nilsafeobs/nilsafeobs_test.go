@@ -1,0 +1,12 @@
+package nilsafeobs_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/nilsafeobs"
+)
+
+func TestNilSafeObs(t *testing.T) {
+	antest.Run(t, antest.TestData(t), nilsafeobs.Analyzer, "ns")
+}

@@ -1,0 +1,55 @@
+// Package ns is a nilsafeobs fixture.
+//
+//repro:nilsafe
+package ns
+
+type Stats struct {
+	n int64
+}
+
+func (s *Stats) Good() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+func (s *Stats) Bad() int64 { // want `exported method Bad accesses s\.n before a nil-receiver guard`
+	return s.n
+}
+
+func (s *Stats) Late() int64 { // want `exported method Late accesses s\.n before a nil-receiver guard`
+	v := s.n
+	if s == nil {
+		return 0
+	}
+	return v
+}
+
+// Inc delegates to a method; methods are checked themselves, so no
+// guard is needed here.
+func (s *Stats) Inc() { s.Add(1) }
+
+func (s *Stats) Add(d int64) {
+	if s != nil {
+		s.n += d
+	}
+}
+
+// unexported methods are out of contract.
+func (s *Stats) load() int64 { return s.n }
+
+// Value receivers hold a copy; nothing to guard.
+func (s Stats) Value() int64 { return s.n }
+
+// Reset is only ever called on receivers the registry handed out.
+//
+//repro:nonnil registry never returns nil
+func (s *Stats) Reset() { s.n = 0 }
+
+// BadEscape documents nothing.
+//
+//repro:nonnil // want `//repro:nonnil escape needs a reason`
+func (s *Stats) BadEscape() { s.n = 0 }
+
+var _ = (*Stats)(nil).load

@@ -1,0 +1,12 @@
+package recoverworker_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/recoverworker"
+)
+
+func TestRecoverWorker(t *testing.T) {
+	antest.Run(t, antest.TestData(t), recoverworker.Analyzer, "rw")
+}

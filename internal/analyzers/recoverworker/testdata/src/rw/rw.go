@@ -1,0 +1,77 @@
+// Package rw is a recoverworker fixture.
+//
+//repro:recover-workers
+package rw
+
+import "sync"
+
+func bad() {
+	go func() { // want `goroutine does not recover panics`
+		work()
+	}()
+}
+
+func good() {
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				_ = v
+			}
+		}()
+		work()
+	}()
+}
+
+// goodAfterDone: the recover defer need not be the first statement,
+// only a top-level one.
+func goodAfterDone(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		defer func() { _ = recover() }()
+		work()
+	}()
+}
+
+// helperDefer: a deferred helper named like a recoverer counts.
+func helperDefer() {
+	go func() {
+		defer recoverTo()
+		work()
+	}()
+}
+
+func recoverTo() {
+	_ = recover()
+}
+
+// namedGood: launching a package function whose body recovers.
+func namedGood() {
+	go protectedWorker()
+}
+
+func protectedWorker() {
+	defer func() { _ = recover() }()
+	work()
+}
+
+func namedBad() {
+	go work() // want `goroutine does not recover panics`
+}
+
+// innerRecoverBad: a recover buried in a nested call does not protect
+// the goroutine itself.
+func innerRecoverBad() {
+	go func() { // want `goroutine does not recover panics`
+		protectedWorker()
+	}()
+}
+
+func escaped(wg *sync.WaitGroup) {
+	go wg.Wait() //repro:norecover WaitGroup.Wait cannot panic here
+}
+
+func badEscape(wg *sync.WaitGroup) {
+	go wg.Wait() //repro:norecover // want `//repro:norecover escape needs a reason`
+}
+
+func work() {}

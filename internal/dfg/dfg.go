@@ -31,6 +31,7 @@ const (
 
 // Node is one vertex of the data-flow graph.
 type Node struct {
+	//repro:nohash equal to the node's position, which the digest writes explicitly
 	ID   int
 	Kind NodeKind
 
@@ -47,9 +48,11 @@ type Node struct {
 	// Operands that are literals or loop counters do not become graph
 	// nodes — they are datapath-internal — but RTL-level execution needs
 	// them, so they are recorded here.
+	//repro:nohash node-producing operands are Pred (hashed); literal/counter operands are datapath-internal and never scheduled
 	Args []Arg
 
 	// Stmt is the body statement that introduced the node.
+	//repro:nohash provenance for diagnostics; the scheduler never reads it
 	Stmt int
 }
 
@@ -72,8 +75,9 @@ func (n *Node) Label() string {
 // Graph is a DAG over Nodes. Edges point in the direction of data flow.
 type Graph struct {
 	Nodes []*Node
-	Succ  [][]int
-	Pred  [][]int
+	//repro:nohash the transpose of Pred, which is hashed in node order
+	Succ [][]int
+	Pred [][]int
 
 	// Fingerprint cache; computed lazily, safe for concurrent readers.
 	fpOnce sync.Once

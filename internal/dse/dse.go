@@ -21,12 +21,18 @@
 // whatever the worker count or completion order; per-point estimation
 // failures (infeasible budget, device capacity) are recorded in the result
 // row rather than aborting the sweep.
+//
+// Static invariants enforced by reprovet (DESIGN.md §10):
+//
+//repro:deterministic-output
+//repro:recover-workers
 package dse
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	rtrace "runtime/trace"
 	"sync"
 
@@ -260,6 +266,13 @@ func (e Engine) analyzeKernels(sp Space, include map[string]bool) (map[string]*h
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// LIFO: this recover runs before wg.Done above, so the errs
+			// write is visible to the wg.Wait below.
+			defer func() {
+				if v := recover(); v != nil {
+					errs[i] = fmt.Errorf("dse: analyze %s panic: %v\n%s", k.Name, v, debug.Stack())
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			var a *hls.Analysis

@@ -177,7 +177,7 @@ func TestExploreSurvivesEstimatorPanic(t *testing.T) {
 		Budgets:    []int{32, 64},
 	}
 	done := make(chan *ResultSet, 1)
-	go func() {
+	go func() { //repro:norecover test harness: a panic here fails the test via the timeout below
 		// Fewer workers than panicking points: without recovery the pool
 		// drains completely and Explore hangs.
 		rs := mustExplore(t, Engine{Workers: 1}, sp)

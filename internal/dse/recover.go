@@ -1,0 +1,25 @@
+package dse
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// goRecover launches f on a new goroutine with the package's
+// panic-isolation contract (//repro:recover-workers): a panic in f is
+// converted to an error and handed to onPanic instead of killing the
+// process. The recover handler runs before wg.Done, so anything onPanic
+// writes is visible to whoever waits on wg. Callers wg.Add(1) before
+// launching, as with a bare goroutine.
+func goRecover(wg *sync.WaitGroup, onPanic func(error), f func()) {
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if v := recover(); v != nil {
+				onPanic(fmt.Errorf("dse: worker panic: %v\n%s", v, debug.Stack()))
+			}
+		}()
+		f()
+	}()
+}

@@ -134,11 +134,26 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 	idxCh := make(chan int)
 	results := make(chan Result)
 	stop := make(chan struct{})
+	// A worker or feeder panic becomes an error returned after the drain
+	// (first one wins) and halts dispatch so the pool unwinds cleanly;
+	// stopOnce arbitrates with the reporter-error path, which closes the
+	// same stop channel.
+	var panicMu sync.Mutex
+	var panicErr error
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	onPanic := func(err error) {
+		panicMu.Lock()
+		if panicErr == nil {
+			panicErr = err
+		}
+		panicMu.Unlock()
+		halt()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < e.workers(); w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		goRecover(&wg, onPanic, func() {
 			for i := range idxCh {
 				select {
 				case results <- e.evalPoint(analyses[pts[i].Kernel.Name], pts[i], sim, sp.PortfolioAll):
@@ -146,9 +161,10 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 					return
 				}
 			}
-		}()
+		})
 	}
-	go func() {
+	wg.Add(1)
+	goRecover(&wg, onPanic, func() {
 		defer close(idxCh)
 		for _, i := range owned {
 			if sem != nil {
@@ -164,28 +180,29 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 				return
 			}
 		}
-	}()
+	})
 	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				onPanic(fmt.Errorf("dse: closer panic: %v", v))
+				close(results)
+			}
+		}()
 		wg.Wait()
 		close(results)
 	}()
 
 	var st StreamStats
 	var reportErr error
-	pending := map[int]Result{} // the order-restoring window
-	next := 0                   // position in owned of the next index to emit
+	win := reorderWindow{pending: map[int]Result{}}
+	next := 0 // position in owned of the next index to emit
 	for r := range results {
-		pending[r.Point.Index] = r
-		if len(pending) > st.MaxWindow {
-			st.MaxWindow = len(pending)
-		}
-		winStats.Observe(int64(len(pending)))
+		winStats.Observe(int64(win.put(r)))
 		for next < len(owned) {
-			q, ok := pending[owned[next]]
+			q, ok := win.take(owned[next])
 			if !ok {
 				break
 			}
-			delete(pending, owned[next])
 			next++
 			if sem != nil {
 				<-sem
@@ -202,13 +219,23 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 					// Stop dispatching, but keep draining so the pool
 					// shuts down cleanly.
 					reportErr = err
-					close(stop)
+					halt()
 				}
 			}
 		}
 	}
+	st.MaxWindow = win.max
 	if reportErr != nil {
 		return st, reportErr
+	}
+	// The drain only ends once every worker exited (wg → close(results)),
+	// and goRecover publishes panics before wg.Done, so this read sees any
+	// worker panic.
+	panicMu.Lock()
+	perr := panicErr
+	panicMu.Unlock()
+	if perr != nil {
+		return st, perr
 	}
 	if cache != nil {
 		st.UniqueSims = cache.size()
@@ -220,6 +247,37 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 		return st, err
 	}
 	return st, nil
+}
+
+// reorderWindow is the order-restoring buffer between the pool's
+// completion-order results and the canonical emission order. One put and
+// up to one successful take run per evaluated point, so both sit on the
+// streaming hot path.
+type reorderWindow struct {
+	pending map[int]Result
+	max     int // high-water occupancy, reported as StreamStats.MaxWindow
+}
+
+// put parks a result and returns the window occupancy.
+//
+//repro:hotpath
+func (w *reorderWindow) put(r Result) int {
+	w.pending[r.Point.Index] = r
+	if len(w.pending) > w.max {
+		w.max = len(w.pending)
+	}
+	return len(w.pending)
+}
+
+// take removes and returns the result for a point index, if parked.
+//
+//repro:hotpath
+func (w *reorderWindow) take(idx int) (Result, bool) {
+	r, ok := w.pending[idx]
+	if ok {
+		delete(w.pending, idx)
+	}
+	return r, ok
 }
 
 // collector buffers a stream back into result order — the adapter behind

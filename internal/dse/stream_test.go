@@ -131,7 +131,7 @@ func TestStreamReporterErrorAborts(t *testing.T) {
 	sp := smallSpace()
 	boom := errors.New("sink failed")
 	done := make(chan error, 1)
-	go func() {
+	go func() { //repro:norecover test harness: a panic here fails the test via the timeout below
 		n := 0
 		_, err := Engine{Workers: 2, Window: 2}.ExploreStream(sp, funcReporter{
 			point: func(Result) error {

@@ -23,6 +23,11 @@
 // nanoseconds; by convention a stage that records some other unit (e.g.
 // the stream window's occupancy in results) says so in its name's
 // documentation, never in the encoding.
+//
+// Static invariants enforced by reprovet (DESIGN.md §10):
+//
+//repro:nilsafe
+//repro:deterministic-output
 package obs
 
 import (
@@ -80,9 +85,13 @@ type StageStats struct {
 
 // Inc counts one event without a histogram observation (plain counter
 // stages: cache tiers, drops).
+//
+//repro:hotpath
 func (s *StageStats) Inc() { s.Add(1) }
 
 // Add counts n events without a histogram observation.
+//
+//repro:hotpath
 func (s *StageStats) Add(n int64) {
 	if s == nil {
 		return
@@ -91,6 +100,8 @@ func (s *StageStats) Add(n int64) {
 }
 
 // Observe records one value: count, sum, max and the histogram bucket.
+//
+//repro:hotpath
 func (s *StageStats) Observe(v int64) {
 	if s == nil {
 		return
@@ -114,6 +125,8 @@ type Timer struct {
 
 // Start begins timing one execution of the stage; a nil stage returns the
 // disabled Timer without reading the clock.
+//
+//repro:hotpath
 func (s *StageStats) Start() Timer {
 	if s == nil {
 		return Timer{}
@@ -122,6 +135,8 @@ func (s *StageStats) Start() Timer {
 }
 
 // Stop records the elapsed nanoseconds and returns them (0 when disabled).
+//
+//repro:hotpath
 func (t Timer) Stop() int64 {
 	if t.s == nil {
 		return 0
@@ -370,6 +385,8 @@ func Begin(m *Metrics, tr *Tracer, point int, kernel, stage string) Span {
 
 // End closes the span: the duration lands in the stage histogram and, when
 // tracing, one trace event carrying the cache tier ("" when irrelevant).
+//
+//repro:hotpath
 func (sp Span) End(tier string) {
 	if sp.s == nil && sp.tr == nil {
 		return

@@ -51,17 +51,23 @@ type Entry struct {
 	// so register residency is disabled to preserve consistency.
 	Aliased bool
 
+	//repro:nohash derived in NewPlan from Info and the nest
 	innermost string // innermost loop variable
-	baseEnv   map[string]int
-	ordinal   map[int]int // window-relative flat index → first-touch ordinal
+	//repro:nohash derived in NewPlan from the nest's loop bounds
+	baseEnv map[string]int
+	//repro:nohash derived in NewPlan from the body's access order
+	ordinal map[int]int // window-relative flat index → first-touch ordinal
 
 	// The flat element index of an affine reference is itself an affine
 	// function of the loop variables; these precomputed pieces make the
 	// per-access residency test O(1) without map rebuilding.
-	flatAff   ir.Affine // flat index as affine function of all loop vars
-	relConst  int       // flatAff with every non-innermost var at its Lo
-	innerCoef int       // flatAff coefficient of the innermost variable
-	rotating  bool      // covered window is collision-free mod Coverage
+	flatAff ir.Affine // flat index as affine function of all loop vars
+	//repro:nohash derived from flatAff with non-innermost vars at Lo
+	relConst int // flatAff with every non-innermost var at its Lo
+	//repro:nohash derived from flatAff
+	innerCoef int // flatAff coefficient of the innermost variable
+	//repro:nohash derived from flatAff, Coverage and the loop bounds
+	rotating bool // covered window is collision-free mod Coverage
 }
 
 // FlatAffine returns the reference's flat element index as an affine
@@ -299,6 +305,10 @@ func (p *Plan) HitKeys(env map[string]int) string {
 // summary, which the entry keys pin down), so cross-design-point caches can
 // key on (kernel, fingerprint, scheduler config) to share one simulation
 // among all points whose allocators converged to the same β vector.
+//
+//repro:nohash Plan.Nest — cache keys carry the kernel name, which pins the nest
+//repro:nohash Plan.Entries — the same entry set as order, hashed in first-use order
+//repro:nohash Entry.flatAff — derived from Info's reference; ReplayFingerprint hashes it where it is the replay identity
 func (p *Plan) Fingerprint() string {
 	var b strings.Builder
 	for _, e := range p.order {
@@ -317,6 +327,10 @@ func (p *Plan) Fingerprint() string {
 // caches can share one replay among the plans of any kernel whose entries
 // agree on it. Names (array, loop variables) are deliberately absent: the
 // replay is invariant under renaming.
+//
+//repro:nohash Entry.Beta — Coverage (hashed) is β's only replay-visible consequence
+//repro:nohash Entry.WriteFirst — the occurrence pattern hashed alongside in fragmentKey carries it
+//repro:nohash Entry.Aliased — aliased entries have Coverage 0 and no residency to replay
 func (e *Entry) ReplayFingerprint(nest *ir.Nest) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "c%d,l%d,k%d", e.Coverage, e.Info.ReuseLevel, e.flatAff.Const)

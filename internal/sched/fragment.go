@@ -272,6 +272,9 @@ func accessPatterns(nest *ir.Nest, plan *scalarrepl.Plan) map[string][]bool {
 // nestFingerprint pins the loop bounds the replay iterates over. Loop
 // variable names are deliberately absent (the replay reads coefficients by
 // depth), so structurally identical nests share fragments.
+//
+//repro:nohash Nest.Name — replay coefficients are read by depth; renaming-invariant
+//repro:nohash Nest.Body — the body occurrence pattern is hashed separately into fragmentKey
 func nestFingerprint(nest *ir.Nest) string {
 	var b strings.Builder
 	for _, l := range nest.Loops {

@@ -33,6 +33,8 @@ func newReplay(capacity int) *replay {
 }
 
 // access replays one body occurrence (w = write) against the file.
+//
+//repro:hotpath
 func (r *replay) access(flat int, w bool) {
 	if _, resident := r.dirty[flat]; !resident {
 		if len(r.dirty) >= r.capacity {
@@ -57,6 +59,8 @@ func (r *replay) access(flat int, w bool) {
 
 // dirtyCount returns how many resident elements a flush would write back.
 // O(1): the count is maintained by access/eviction/translate.
+//
+//repro:hotpath
 func (r *replay) dirtyCount() int { return r.ndirty }
 
 // signature renders the automaton state (resident flats with dirty bits)
@@ -67,6 +71,8 @@ func (r *replay) dirtyCount() int { return r.ndirty }
 // excluded — they are outputs, not state. The returned slice aliases an
 // internal scratch buffer valid until the next signature call; detectors
 // probe maps with string(sig) (no allocation) and copy only on insert.
+//
+//repro:hotpath
 func (r *replay) signature(offset int) []byte {
 	// The heap mirrors the resident set exactly; copying it avoids a Go map
 	// iteration (the dominant cost of a snapshot at real coverages).
@@ -106,6 +112,8 @@ func (r *replay) translate(delta int) {
 
 // push inserts a flat into the heap. The caller only pushes flats absent
 // from the resident set, so heap contents always equal the map keys.
+//
+//repro:hotpath
 func (r *replay) push(f int) {
 	r.heap = append(r.heap, f)
 	i := len(r.heap) - 1
@@ -120,6 +128,8 @@ func (r *replay) push(f int) {
 }
 
 // popMin removes and returns the smallest resident flat.
+//
+//repro:hotpath
 func (r *replay) popMin() int {
 	top := r.heap[0]
 	last := len(r.heap) - 1

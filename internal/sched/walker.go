@@ -186,6 +186,8 @@ func (w *iterWalker) compileAccess(r *ir.ArrayRef, f *xferFile, isWrite bool) bo
 }
 
 // run executes the fused pass: class weights plus transfer replay.
+//
+//repro:hotpath
 func (w *iterWalker) run() {
 	if w.depth == 0 {
 		w.counts[0]++
@@ -216,6 +218,8 @@ func (w *iterWalker) run() {
 // that advanced since the previous innermost iteration (-1 before the
 // first): a file's reuse region changes exactly when a loop outside its
 // reuse level advances.
+//
+//repro:hotpath
 func (w *iterWalker) walk(d, changed int) {
 	l := w.nest.Loops[d]
 	if d == w.depth-1 {
@@ -246,6 +250,8 @@ func (w *iterWalker) walk(d, changed int) {
 // leaf processes one iteration point: counts its class, flushes files whose
 // reuse region ended, and replays the body's accesses against the register
 // files.
+//
+//repro:hotpath
 func (w *iterWalker) leaf(pos, changed int) {
 	w.counts[w.classOf[pos]]++
 	for _, f := range w.files {
@@ -285,6 +291,8 @@ func (w *iterWalker) leaf(pos, changed int) {
 
 // flush writes back the file's dirty elements and empties it — a reuse
 // region boundary or the epilogue drain.
+//
+//repro:hotpath
 func (w *iterWalker) flush(f *xferFile) {
 	for flat, dirty := range f.dirty {
 		if dirty {
@@ -297,6 +305,8 @@ func (w *iterWalker) flush(f *xferFile) {
 // evict makes room for an incoming element by dropping the resident element
 // with the smallest flat index (deterministic, matching the functional
 // simulation), writing it back when dirty.
+//
+//repro:hotpath
 func (w *iterWalker) evict(f *xferFile) {
 	victim, first := 0, true
 	for flat := range f.dirty {

@@ -20,6 +20,11 @@
 // shards (each process runs its own simulation cache, so the sum can
 // exceed a single process's count — plans deduplicated globally may be
 // simulated once per shard).
+//
+// Static invariants enforced by reprovet (DESIGN.md §10):
+//
+//repro:deterministic-output
+//repro:recover-workers
 package shard
 
 import (
