@@ -23,6 +23,12 @@
 // labels, so -cpuprofile decomposes by pipeline stage. Report bytes are
 // identical with or without any of these.
 //
+// `dse serve` runs exploration as a long-running HTTP service over one
+// warm shared simcache (internal/serve); `dse cached` serves only the
+// content-addressed blob store, so sweeps on other hosts (-simcache-url)
+// and other `dse serve` instances dedup simulation work without a shared
+// filesystem.
+//
 // Usage:
 //
 //	dse                                  # stock 192-point sweep, text table
@@ -39,11 +45,16 @@
 //	dse -shard 1/3 -simcache-dir /tmp/sc > s1.jsonl   # ...sharing simulation work
 //	dse -shard 2/3 -simcache-dir /tmp/sc > s2.jsonl
 //	dse merge -format csv s0.jsonl s1.jsonl s2.jsonl  # ...merged back, metrics summed
+//
+//	dse serve -addr :8080 &                           # estimation service...
+//	curl -d @spec.json 'localhost:8080/v1/explore?format=csv'
+//	dse cached -addr :8081 -simcache-dir /var/sc &    # ...or just the blob store
+//	dse -simcache-url http://cachehost:8081           # sweep against it
 package main
 
 import (
 	"bufio"
-	"encoding/json"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,25 +62,33 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
-	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/dse"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/simcache"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "merge" {
-		if err := runMerge(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "dse merge:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		if sub, ok := map[string]func([]string) error{
+			"merge":  runMerge,
+			"serve":  runServe,
+			"cached": runCached,
+		}[os.Args[1]]; ok {
+			if err := sub(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "dse %s: %v\n", os.Args[1], err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 	var (
 		kernelList = flag.String("kernels", "", "comma-separated kernels (default: the six Table-1 kernels)")
@@ -88,6 +107,7 @@ func main() {
 	flag.BoolVar(&cfg.portfolio, "portfolio", false, "run every allocator per point and keep the best design by (time, slices, registers)")
 	flag.BoolVar(&cfg.pfAll, "portfolio-all", false, "with -portfolio (implied), additionally report every member allocator's metrics per point (CSV role column, JSON portfolio array, indented table rows)")
 	flag.StringVar(&cfg.cacheDir, "simcache-dir", "", "back the fragment/schedule store with files in this directory (shared across shard processes)")
+	flag.StringVar(&cfg.cacheURL, "simcache-url", "", "share the fragment/schedule store with a blob server at this base URL (`dse cached` or `dse serve`); combines with -simcache-dir as a local tier")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the stderr stats summary")
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write the per-stage metrics snapshot as JSON to this file")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve the live metrics snapshot as JSON over HTTP on this address (GET /metrics)")
@@ -131,14 +151,23 @@ func main() {
 
 // cliConfig is the non-space part of the command line.
 type cliConfig struct {
-	workers                     int
-	format, shardSpec, cacheDir string
-	formatSet, strict, nocache  bool
-	portfolio, pfAll, quiet     bool
-	metricsPath, metricsAddr    string
-	linger                      time.Duration
-	tracePath, execTracePath    string
-	traceCap                    int
+	workers                               int
+	format, shardSpec, cacheDir, cacheURL string
+	formatSet, strict, nocache            bool
+	portfolio, pfAll, quiet               bool
+	metricsPath, metricsAddr              string
+	linger                                time.Duration
+	tracePath, execTracePath              string
+	traceCap                              int
+}
+
+// buildCache constructs the fragment store for a hand-wired engine cache:
+// directory-backed when dir is non-empty, memory-only otherwise.
+func buildCache(dir string) (*simcache.Cache, error) {
+	if dir != "" {
+		return simcache.NewDir(dir)
+	}
+	return simcache.New(), nil
 }
 
 func writeHeapProfile(path string) error {
@@ -150,74 +179,6 @@ func writeHeapProfile(path string) error {
 	runtime.GC() // up-to-date allocation data
 	return pprof.WriteHeapProfile(f)
 }
-
-// metricsDoc is the -metrics JSON artifact (and the -metrics-addr response
-// body): run totals, the simulation-cache counters and the per-stage obs
-// snapshot. Mergeable by construction — `dse merge` emits the same shape
-// with cache and obs summed across shards.
-type metricsDoc struct {
-	Format     string            `json:"format"`  // "repro-dse-metrics"
-	Version    int               `json:"version"` // 1
-	Points     int               `json:"points"`
-	Failed     int               `json:"failed"`
-	UniqueSims int               `json:"unique_sims"`
-	WallNs     int64             `json:"wall_ns"`
-	Cache      simcache.Snapshot `json:"cache"`
-	Obs        obs.Snapshot      `json:"obs"`
-}
-
-const (
-	metricsFormat  = "repro-dse-metrics"
-	metricsVersion = 1
-)
-
-func writeMetrics(path string, doc metricsDoc) error {
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// metricsServer serves the live metrics snapshot over HTTP. The doc source
-// is swappable: during the sweep it renders live counters; after, the final
-// document — so a scrape during -metrics-linger sees exactly what -metrics
-// wrote.
-type metricsServer struct {
-	ln  net.Listener
-	mu  sync.Mutex
-	doc func() metricsDoc
-}
-
-func serveMetrics(addr string, doc func() metricsDoc) (*metricsServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s := &metricsServer{ln: ln, doc: doc}
-	mux := http.NewServeMux()
-	h := func(w http.ResponseWriter, _ *http.Request) {
-		s.mu.Lock()
-		d := s.doc()
-		s.mu.Unlock()
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(d)
-	}
-	mux.HandleFunc("/metrics", h)
-	mux.HandleFunc("/", h)
-	go http.Serve(ln, mux)
-	return s, nil
-}
-
-func (s *metricsServer) set(doc metricsDoc) {
-	s.mu.Lock()
-	s.doc = func() metricsDoc { return doc }
-	s.mu.Unlock()
-}
-
-func (s *metricsServer) addr() string { return s.ln.Addr().String() }
 
 func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string, cfg cliConfig) error {
 	if cfg.pfAll && cfg.shardSpec != "" {
@@ -242,6 +203,18 @@ func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList st
 		Workers: cfg.workers, NoSimCache: cfg.nocache, SimCacheDir: cfg.cacheDir,
 		Obs: metrics, Trace: tracer,
 	}
+	if cfg.cacheURL != "" && !cfg.nocache {
+		// A remote blob tier needs a hand-built store: layered
+		// memory → disk (when -simcache-dir is also given) → remote, wired
+		// to this run's metrics, handed to the engine pre-built.
+		store, err := buildCache(cfg.cacheDir)
+		if err != nil {
+			return err
+		}
+		store.SetRemote(simcache.NewRemote(cfg.cacheURL))
+		store.SetObs(metrics)
+		engine.SimCache = store
+	}
 
 	if cfg.execTracePath != "" {
 		f, err := os.Create(cfg.execTracePath)
@@ -256,11 +229,11 @@ func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList st
 	}
 
 	start := time.Now()
-	var srv *metricsServer
+	var srv *serve.MetricsServer
 	if cfg.metricsAddr != "" {
-		srv, err = serveMetrics(cfg.metricsAddr, func() metricsDoc {
-			return metricsDoc{
-				Format: metricsFormat, Version: metricsVersion,
+		srv, err = serve.ListenMetrics(cfg.metricsAddr, func() serve.MetricsDoc {
+			return serve.MetricsDoc{
+				Format: serve.MetricsFormat, Version: serve.MetricsVersion,
 				WallNs: int64(time.Since(start)),
 				Obs:    metrics.Snapshot(),
 			}
@@ -268,9 +241,9 @@ func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList st
 		if err != nil {
 			return err
 		}
-		defer srv.ln.Close()
+		defer srv.Close()
 		if !cfg.quiet {
-			fmt.Fprintf(os.Stderr, "dse: serving metrics on http://%s/metrics\n", srv.addr())
+			fmt.Fprintf(os.Stderr, "dse: serving metrics on http://%s/metrics\n", srv.Addr())
 		}
 	}
 
@@ -290,7 +263,7 @@ func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList st
 			return err
 		}
 	} else {
-		rep, rerr := reporter(cfg.format)
+		rep, rerr := dse.RendererFor(cfg.format)
 		if rerr != nil {
 			return rerr
 		}
@@ -308,13 +281,13 @@ func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList st
 	wall := time.Since(start)
 
 	// Final artifacts re-snapshot, so reporter End time is included.
-	doc := metricsDoc{
-		Format: metricsFormat, Version: metricsVersion,
+	doc := serve.MetricsDoc{
+		Format: serve.MetricsFormat, Version: serve.MetricsVersion,
 		Points: st.Points, Failed: st.Failed, UniqueSims: st.UniqueSims,
 		WallNs: int64(wall), Cache: st.Cache, Obs: metrics.Snapshot(),
 	}
 	if cfg.metricsPath != "" {
-		if err := writeMetrics(cfg.metricsPath, doc); err != nil {
+		if err := serve.WriteMetricsFile(cfg.metricsPath, doc); err != nil {
 			return err
 		}
 	}
@@ -335,7 +308,7 @@ func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList st
 			prefix, doc.Obs.Summary(5))
 	}
 	if srv != nil && cfg.linger > 0 {
-		srv.set(doc)
+		srv.Set(doc)
 		time.Sleep(cfg.linger)
 	}
 	if cfg.strict {
@@ -377,17 +350,17 @@ func runMerge(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := reporter(*format)
+	rep, err := dse.RendererFor(*format)
 	if err != nil {
 		return err
 	}
 	if *metricsPath != "" {
-		doc := metricsDoc{
-			Format: metricsFormat, Version: metricsVersion,
+		doc := serve.MetricsDoc{
+			Format: serve.MetricsFormat, Version: serve.MetricsVersion,
 			Points: len(rs.Results), Failed: len(rs.Failed()), UniqueSims: rs.UniqueSims,
 			WallNs: int64(time.Since(start)), Cache: rs.Cache, Obs: rs.Obs,
 		}
-		if err := writeMetrics(*metricsPath, doc); err != nil {
+		if err := serve.WriteMetricsFile(*metricsPath, doc); err != nil {
 			return err
 		}
 	}
@@ -408,26 +381,6 @@ func runMerge(args []string) error {
 	return nil
 }
 
-// streamableReporter is what every dse reporter provides: a buffered
-// Report (used by merge, which holds the set anyway) and a streaming
-// form (used by live exploration).
-type streamableReporter interface {
-	dse.Reporter
-	Stream(w io.Writer) dse.StreamReporter
-}
-
-func reporter(format string) (streamableReporter, error) {
-	switch format {
-	case "table":
-		return dse.TableReporter{}, nil
-	case "csv":
-		return dse.CSVReporter{Pareto: true}, nil
-	case "json":
-		return dse.JSONReporter{Indent: true}, nil
-	}
-	return nil, fmt.Errorf("unknown format %q (want table, csv or json)", format)
-}
-
 func simsNote(st dse.StreamStats, nocache bool) string {
 	if nocache {
 		return "cache off"
@@ -442,4 +395,148 @@ func cacheNote(s simcache.Snapshot) string {
 		return ""
 	}
 	return "; " + s.String()
+}
+
+// runServe is the `dse serve` entry point: the long-running estimation
+// service (internal/serve) over one warm shared simcache, with graceful
+// drain on SIGINT/SIGTERM.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("dse serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	cacheDir := fs.String("simcache-dir", "", "backing directory of the shared fragment store (default: a fresh temp directory; also served at /v1/blob/)")
+	cacheURL := fs.String("simcache-url", "", "upstream blob server to layer behind memory and disk")
+	workers := fs.Int("workers", 0, "per-request worker pool size (0 = GOMAXPROCS)")
+	window := fs.Int("window", 0, "per-request order-restoring window (0 = engine default)")
+	maxInflight := fs.Int("max-inflight", 2, "maximum concurrently running sweeps")
+	maxQueue := fs.Int("max-queue", 16, "maximum sweeps waiting for a slot before 503")
+	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request deadline, queue wait included (0 = none)")
+	quiet := fs.Bool("quiet", false, "suppress stderr request and lifecycle lines")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dse serve [-addr host:port] [-simcache-dir d] [-simcache-url u] [-workers n] [-max-inflight n] [-max-queue n] [-request-timeout d] [-quiet]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	dir := *cacheDir
+	if dir == "" {
+		// The blob endpoint and restart warm-up both want a directory; a
+		// temp one gives every default server the full protocol surface.
+		var err error
+		if dir, err = os.MkdirTemp("", "dse-simcache-"); err != nil {
+			return err
+		}
+	}
+	cache, err := simcache.NewDir(dir)
+	if err != nil {
+		return err
+	}
+	metrics := obs.New()
+	cache.SetObs(metrics)
+	if *cacheURL != "" {
+		cache.SetRemote(simcache.NewRemote(*cacheURL))
+	}
+	var logw io.Writer
+	if !*quiet {
+		logw = os.Stderr
+	}
+	srv, err := serve.New(cache, metrics, serve.Config{
+		Workers: *workers, Window: *window,
+		MaxInflight: *maxInflight, MaxQueue: *maxQueue,
+		Timeout: *reqTimeout, Log: logw,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "dse serve: listening on http://%s (simcache dir %s)\n", ln.Addr(), dir)
+	}
+	return serveUntilSignal(ln, srv.Handler(), func() {
+		srv.SetDraining(true)
+		if !*quiet {
+			doc := srv.Doc()
+			fmt.Fprintf(os.Stderr, "dse serve: draining (%d points served, %d failed; cache %s)\n",
+				doc.Points, doc.Failed, doc.Cache.String())
+		}
+	})
+}
+
+// runCached is the `dse cached` entry point: just the content-addressed
+// blob store over a backing directory, for fleets whose sweep processes
+// (-simcache-url) or serve instances share fragments without a shared
+// filesystem.
+func runCached(args []string) error {
+	fs := flag.NewFlagSet("dse cached", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8081", "listen address")
+	cacheDir := fs.String("simcache-dir", "", "backing directory of the blob store (default: a fresh temp directory)")
+	quiet := fs.Bool("quiet", false, "suppress stderr lifecycle lines")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dse cached [-addr host:port] [-simcache-dir d] [-quiet]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	dir := *cacheDir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "dse-simcache-"); err != nil {
+			return err
+		}
+	}
+	cache, err := simcache.NewDir(dir)
+	if err != nil {
+		return err
+	}
+	h, err := simcache.NewBlobHandler(cache, obs.New())
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/blob/", h)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "dse cached: serving blobs on http://%s (dir %s)\n", ln.Addr(), dir)
+	}
+	return serveUntilSignal(ln, mux, nil)
+}
+
+// serveUntilSignal serves HTTP until SIGINT/SIGTERM, then drains: onDrain
+// (readiness flip, log line) runs first, then in-flight requests get a
+// bounded grace period to finish. A clean drain exits 0.
+func serveUntilSignal(ln net.Listener, h http.Handler, onDrain func()) error {
+	hs := &http.Server{Handler: h}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	if onDrain != nil {
+		onDrain()
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return hs.Shutdown(sctx)
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestNilSafeObs(t *testing.T) {
-	antest.Run(t, antest.TestData(t), nilsafeobs.Analyzer, "ns")
+	antest.Run(t, antest.TestData(t), nilsafeobs.Analyzer, "ns", "nsrv")
 }

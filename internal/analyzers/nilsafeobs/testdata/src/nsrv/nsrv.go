@@ -1,0 +1,42 @@
+// Package nsrv is a nilsafeobs fixture shaped like the serve subsystem: a
+// service type whose exported lifecycle methods (readiness flips, metric
+// documents) are called from handlers that may hold a nil service during
+// shutdown races, so each must guard or justify.
+//
+//repro:nilsafe
+package nsrv
+
+type Server struct {
+	draining bool
+	points   int
+}
+
+// SetDraining is the guarded lifecycle flip.
+func (s *Server) SetDraining(v bool) {
+	if s == nil {
+		return
+	}
+	s.draining = v
+}
+
+// Doc guards and degrades to an empty document.
+func (s *Server) Doc() int {
+	if s == nil {
+		return 0
+	}
+	return s.points
+}
+
+func (s *Server) Record(n int) { // want `exported method Record accesses s\.points before a nil-receiver guard`
+	s.points += n
+}
+
+// Handler is only reachable through the constructor, like serve.New.
+//
+//repro:nonnil a Server only exists via its constructor
+func (s *Server) Handler() bool { return s.draining }
+
+// record is internal plumbing, out of contract.
+func (s *Server) record(n int) { s.points += n }
+
+var _ = (*Server)(nil).record

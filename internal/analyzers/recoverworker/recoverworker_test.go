@@ -8,5 +8,5 @@ import (
 )
 
 func TestRecoverWorker(t *testing.T) {
-	antest.Run(t, antest.TestData(t), recoverworker.Analyzer, "rw")
+	antest.Run(t, antest.TestData(t), recoverworker.Analyzer, "rw", "srv")
 }

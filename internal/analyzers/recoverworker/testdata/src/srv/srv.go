@@ -1,0 +1,61 @@
+// Package srv is a recoverworker fixture shaped like the serve subsystem:
+// a long-running service whose background goroutines (listener loop,
+// per-request workers, drain timers) must not die with the process.
+//
+//repro:recover-workers
+package srv
+
+import "sync"
+
+type server struct {
+	mu   sync.Mutex
+	reqs int
+}
+
+// badListenLoop: the classic unprotected accept/serve goroutine.
+func (s *server) badListenLoop() {
+	go s.loop() // want `goroutine does not recover panics`
+}
+
+func (s *server) loop() {
+	s.mu.Lock()
+	s.reqs++
+	s.mu.Unlock()
+}
+
+// goodListenLoop: the serve goroutine recovers at its top level.
+func (s *server) goodListenLoop() {
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				_ = v
+			}
+		}()
+		s.loop()
+	}()
+}
+
+// goodRequestWorker: per-request work routed through a recovering helper.
+func (s *server) goodRequestWorker() {
+	go s.protectLoop()
+}
+
+func (s *server) protectLoop() {
+	defer func() { _ = recover() }()
+	s.loop()
+}
+
+// badShutdownNotify: a drain-notification goroutine is still a goroutine.
+func (s *server) badShutdownNotify(done chan struct{}) {
+	go func() { // want `goroutine does not recover panics`
+		s.loop()
+		close(done)
+	}()
+}
+
+// escapedServe mirrors the metrics listener: the library call runs
+// handlers behind its own recovery, so the launch is escaped with a
+// reason.
+func (s *server) escapedServe(serve func()) {
+	go serve() //repro:norecover the HTTP library recovers per connection
+}

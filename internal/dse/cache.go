@@ -50,8 +50,11 @@ type simEntry struct {
 	err  error
 }
 
+// newSimCache wraps a fragment store with the per-exploration plan-level
+// cache. It does not touch the fragment store's obs wiring — the store's
+// owner does that once (the engine for caches it builds itself, the serving
+// process for a shared Engine.SimCache).
 func newSimCache(frag *simcache.Cache, m *obs.Metrics) *simCache {
-	frag.SetObs(m)
 	return &simCache{m: map[simKey]*simEntry{}, sim: &sched.Simulator{Cache: frag, Obs: m}}
 }
 

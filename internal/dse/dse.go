@@ -130,6 +130,14 @@ type Engine struct {
 	// sweep — share simulation work through the filesystem (cross-shard
 	// dedup). The directory is created if absent.
 	SimCacheDir string
+	// SimCache, when non-nil, is a pre-built fragment/class-schedule store
+	// the exploration uses instead of constructing its own (SimCacheDir is
+	// then ignored). This is how a long-running process keeps one warm
+	// store across many explorations, and how a sweep attaches the remote
+	// blob tier (simcache.SetRemote). The engine treats a provided cache as
+	// externally owned: it never calls SetObs on it — wire observability
+	// once, at construction, before concurrent use.
+	SimCache *simcache.Cache
 	// Window caps the order-restoring window of the streaming entry
 	// points (ExploreStream/ExploreShardStream): at most Window results
 	// are dispatched-but-unemitted at any moment, so a slow head-of-line

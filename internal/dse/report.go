@@ -22,6 +22,31 @@ type Reporter interface {
 	Report(w io.Writer, rs *ResultSet) error
 }
 
+// Renderer is what every dse reporter provides: a buffered Report (for
+// callers that hold the whole set anyway, like merge) and a streaming form
+// (for live exploration). The two renderings are byte-identical by
+// construction.
+type Renderer interface {
+	Reporter
+	Stream(w io.Writer) StreamReporter
+}
+
+// RendererFor maps a CLI/API format name to its renderer, with the stock
+// presentation options (CSV carries the pareto column, JSON is indented) —
+// the single source of the format vocabulary for cmd/dse and the serve API,
+// which is what keeps their outputs byte-identical.
+func RendererFor(format string) (Renderer, error) {
+	switch format {
+	case "table":
+		return TableReporter{}, nil
+	case "csv":
+		return CSVReporter{Pareto: true}, nil
+	case "json":
+		return JSONReporter{Indent: true}, nil
+	}
+	return nil, fmt.Errorf("unknown format %q (want table, csv or json)", format)
+}
+
 // InstrumentReporter wraps a stream reporter so every Begin/Point/End call
 // is timed into the "report/<name>" stage — the reporter-encode cost of the
 // sweep. With a nil Metrics the reporter is returned unwrapped, so the

@@ -86,6 +86,9 @@ func TestSpecRejectsUnknownNamesAndEmptyAxes(t *testing.T) {
 		{"unknown allocator", func(s *SpaceSpec) { s.Allocators[0] = "ZZ-RA" }},
 		{"unknown device", func(s *SpaceSpec) { s.Devices[0] = "XC9999" }},
 		{"empty kernels", func(s *SpaceSpec) { s.Kernels = nil }},
+		{"empty allocators", func(s *SpaceSpec) { s.Allocators = nil }},
+		{"empty budgets", func(s *SpaceSpec) { s.Budgets = nil }},
+		{"empty devices", func(s *SpaceSpec) { s.Devices = nil }},
 		{"empty scheds", func(s *SpaceSpec) { s.Scheds = nil }},
 	} {
 		s := good
@@ -98,6 +101,33 @@ func TestSpecRejectsUnknownNamesAndEmptyAxes(t *testing.T) {
 		if _, err := s.Space(); err == nil {
 			t.Errorf("%s: Space() accepted", tc.name)
 		}
+	}
+}
+
+func TestSpecPortfolioRoundTrip(t *testing.T) {
+	// The portfolio flag changes the point set (one pseudo-allocator point
+	// replaces the per-allocator points), so it must survive the round trip
+	// and separate the fingerprints.
+	sp := DefaultSpace()
+	sp.Portfolio = true
+	sp, err := sp.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec(sp)
+	if !spec.Portfolio {
+		t.Fatal("Spec dropped the portfolio flag")
+	}
+	back, err := spec.Space()
+	if err != nil {
+		t.Fatalf("Space(): %v", err)
+	}
+	if !back.Portfolio {
+		t.Fatal("round trip dropped the portfolio flag")
+	}
+	plain := Spec(DefaultSpace())
+	if spec.Fingerprint() == plain.Fingerprint() {
+		t.Error("portfolio and plain specs share a fingerprint")
 	}
 }
 

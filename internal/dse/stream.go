@@ -112,12 +112,25 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 
 	sim := hls.SimFunc(simDirect)
 	var cache *simCache
+	var cacheBase simcache.Snapshot
 	if !e.NoSimCache {
-		frag, err := e.fragCache()
-		if err != nil {
-			return StreamStats{}, err
+		frag := e.SimCache
+		if frag == nil {
+			// Engine-owned store: built fresh for this exploration, so the
+			// engine also wires its observability. A provided SimCache is
+			// externally owned and arrives already wired (re-attaching obs
+			// here would race with concurrent explorations sharing it).
+			var err error
+			if frag, err = e.fragCache(); err != nil {
+				return StreamStats{}, err
+			}
+			frag.SetObs(e.Obs)
 		}
 		cache = newSimCache(frag, e.Obs)
+		// A shared store arrives with history; StreamStats reports this
+		// exploration's own lookups, so shard trailers and request metrics
+		// stay per-run whatever the store's age.
+		cacheBase = cache.snapshot()
 		sim = cache.simulate
 	}
 	// The "explore" stage is the engine's own wall clock, stopped before the
@@ -239,7 +252,7 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 	}
 	if cache != nil {
 		st.UniqueSims = cache.size()
-		st.Cache = cache.snapshot()
+		st.Cache = cache.snapshot().Sub(cacheBase)
 	}
 	exploreTm.Stop()
 	st.Obs = e.Obs.Snapshot()

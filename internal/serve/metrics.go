@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/simcache"
+)
+
+// MetricsDoc is the repro-dse-metrics JSON artifact: run totals, the
+// simulation-cache counters and the per-stage obs snapshot. It is the body
+// `dse -metrics` writes, the response of every metrics HTTP endpoint
+// (`dse -metrics-addr`, `dse serve`'s /v1/metrics), and the shape
+// `dse merge` emits with cache and obs summed across shards — one schema
+// for file, scrape and merge.
+type MetricsDoc struct {
+	Format     string            `json:"format"`  // MetricsFormat
+	Version    int               `json:"version"` // MetricsVersion
+	Points     int               `json:"points"`
+	Failed     int               `json:"failed"`
+	UniqueSims int               `json:"unique_sims"`
+	WallNs     int64             `json:"wall_ns"`
+	Cache      simcache.Snapshot `json:"cache"`
+	Obs        obs.Snapshot      `json:"obs"`
+}
+
+// The metrics document format marker and version.
+const (
+	MetricsFormat  = "repro-dse-metrics"
+	MetricsVersion = 1
+)
+
+// WriteMetricsFile writes the document as indented JSON to path.
+func WriteMetricsFile(path string, doc MetricsDoc) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeMetricsDoc renders one document as an indented-JSON HTTP response.
+func writeMetricsDoc(w http.ResponseWriter, doc MetricsDoc) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// metricsHandler serves a swappable document source at /v1/metrics (and the
+// pre-serve /metrics and / aliases): during a sweep it renders live
+// counters; after, the final document — so a scrape during -metrics-linger
+// sees exactly what -metrics wrote.
+func metricsHandler(ms *MetricsServer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		ms.mu.Lock()
+		doc := ms.doc
+		ms.mu.Unlock()
+		writeMetricsDoc(w, doc())
+	})
+}
+
+// MetricsServer is the standalone live-metrics endpoint behind
+// `dse -metrics-addr` on ordinary sweeps: the same handler `dse serve`
+// mounts, listening on its own address. (Under `dse serve` there is no
+// separate listener — the serve mux is the one HTTP surface.)
+type MetricsServer struct {
+	ln  net.Listener
+	mu  sync.Mutex
+	doc func() MetricsDoc
+}
+
+// ListenMetrics serves the document source over HTTP on addr, at
+// /v1/metrics, /metrics and /.
+func ListenMetrics(addr string, doc func() MetricsDoc) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &MetricsServer{ln: ln, doc: doc}
+	h := metricsHandler(s)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/metrics", h)
+	mux.Handle("/metrics", h)
+	mux.Handle("/", h)
+	//repro:norecover http.Serve runs handlers behind net/http's own per-connection recovery and returns on listener close
+	go http.Serve(ln, mux)
+	return s, nil
+}
+
+// Set freezes the served document, so post-run scrapes (the -metrics-linger
+// window) see the final artifact instead of live counters.
+func (s *MetricsServer) Set(doc MetricsDoc) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.doc = func() MetricsDoc { return doc }
+	s.mu.Unlock()
+}
+
+// Addr returns the bound address ("" on a nil server), for log lines when
+// the configured address had port 0.
+func (s *MetricsServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. Safe on nil.
+func (s *MetricsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.ln.Close()
+}

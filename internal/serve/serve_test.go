@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/simcache"
+)
+
+// newTestServer builds a Server over a fresh memory cache wired to a fresh
+// process registry, mirroring runServe's startup.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *simcache.Cache) {
+	t.Helper()
+	cache := simcache.New()
+	metrics := obs.New()
+	cache.SetObs(metrics)
+	s, err := New(cache, metrics, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, cache
+}
+
+func smallSpec(t *testing.T) dse.SpaceSpec {
+	t.Helper()
+	sp, err := dse.BuildSpace("fir", "CPA-RA,FR-RA", "16,32", "XCV1000", "1", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dse.Spec(sp)
+}
+
+func postSpec(t *testing.T, url string, spec dse.SpaceSpec, format string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := url + "/v1/explore"
+	if format != "" {
+		u += "?format=" + format
+	}
+	resp, err := http.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestExploreByteIdentity: every served format returns exactly the bytes a
+// local run of the same space produces — the stock 192-point space, the
+// same one CI sweeps.
+func TestExploreByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stock space sweep in -short mode")
+	}
+	_, ts, _ := newTestServer(t, Config{})
+	sp := dse.DefaultSpace()
+	spec := dse.Spec(sp)
+
+	rs, err := dse.Engine{}.Explore(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"table", "csv", "json"} {
+		render, err := dse.RendererFor(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := render.Report(&want, rs); err != nil {
+			t.Fatal(err)
+		}
+		resp := postSpec(t, ts.URL, spec, format)
+		got := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", format, resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("%s: served bytes differ from local run (%d vs %d bytes)", format, len(got), want.Len())
+		}
+	}
+
+	// NDJSON reassembles through the shard merge into the same result set.
+	resp := postSpec(t, ts.URL, spec, "")
+	nd := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ndjson: status %d: %s", resp.StatusCode, nd)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("ndjson content type = %q", ct)
+	}
+	merged, err := shard.Merge(bytes.NewReader(nd))
+	if err != nil {
+		t.Fatalf("merge served ndjson: %v", err)
+	}
+	render, _ := dse.RendererFor("table")
+	var want, got bytes.Buffer
+	if err := render.Report(&want, rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := render.Report(&got, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("merged ndjson table differs from local run")
+	}
+}
+
+// TestSecondRequestWarm: the service's reason to exist — a repeated spec
+// recomputes nothing, every fragment lookup is a memory hit.
+func TestSecondRequestWarm(t *testing.T) {
+	s, ts, cache := newTestServer(t, Config{})
+	spec := smallSpec(t)
+
+	resp := postSpec(t, ts.URL, spec, "csv")
+	cold := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", resp.StatusCode, cold)
+	}
+	after1 := cache.Snapshot()
+	if after1.EntryMisses == 0 || after1.ClassMisses == 0 {
+		t.Fatalf("cold request computed nothing: %+v", after1)
+	}
+
+	resp = postSpec(t, ts.URL, spec, "csv")
+	warm := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", resp.StatusCode, warm)
+	}
+	delta := cache.Snapshot().Sub(after1)
+	if delta.EntryMisses != 0 || delta.ClassMisses != 0 {
+		t.Errorf("warm request recomputed fragments: %+v", delta)
+	}
+	if delta.EntryHits == 0 {
+		t.Errorf("warm request did not hit the shared store: %+v", delta)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm response differs from cold response")
+	}
+
+	doc := s.Doc()
+	if doc.Points == 0 || doc.Points%2 != 0 {
+		t.Errorf("Doc points = %d, want an even accumulated total", doc.Points)
+	}
+	names := doc.Obs.Names()
+	has := func(name string) bool {
+		for _, n := range names {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"serve/request", "cache/frag/hit", "explore"} {
+		if !has(want) {
+			t.Errorf("metrics doc missing stage %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestNDJSONTrailerCarriesRequestDelta: the trailer's cache counters are
+// this request's lookups, not the shared store's lifetime totals.
+func TestNDJSONTrailerCarriesRequestDelta(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	spec := smallSpec(t)
+	readBody(t, postSpec(t, ts.URL, spec, "")) // warm the store
+	nd := readBody(t, postSpec(t, ts.URL, spec, ""))
+
+	lines := strings.Split(strings.TrimSpace(string(nd)), "\n")
+	var trailer struct {
+		EOF   bool               `json:"eof"`
+		Cache *simcache.Snapshot `json:"cache"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil || !trailer.EOF {
+		t.Fatalf("last line is not a trailer: %v %q", err, lines[len(lines)-1])
+	}
+	if trailer.Cache == nil {
+		t.Fatal("trailer carries no cache snapshot")
+	}
+	if trailer.Cache.EntryMisses != 0 {
+		t.Errorf("warm request trailer reports misses: %+v", *trailer.Cache)
+	}
+	if trailer.Cache.EntryHits == 0 {
+		t.Errorf("warm request trailer reports no hits: %+v", *trailer.Cache)
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+
+	// Malformed body.
+	resp, err := http.Post(ts.URL+"/v1/explore", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown kernel.
+	spec := smallSpec(t)
+	spec.Kernels = []string{"nope"}
+	resp = postSpec(t, ts.URL, spec, "")
+	if readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown kernel: status %d, want 400", resp.StatusCode)
+	}
+
+	// Empty axis.
+	spec = smallSpec(t)
+	spec.Budgets = nil
+	resp = postSpec(t, ts.URL, spec, "")
+	if readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty axis: status %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown format.
+	resp = postSpec(t, ts.URL, smallSpec(t), "yaml")
+	if readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d, want 400", resp.StatusCode)
+	}
+
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/v1/explore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestQueueReject: with every in-flight slot held and no queue, a request
+// is shed immediately with 503.
+func TestQueueReject(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 0})
+	s.sem <- struct{}{} // occupy the only slot
+	defer func() { <-s.sem }()
+
+	resp := postSpec(t, ts.URL, smallSpec(t), "csv")
+	if readBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestQueueWaitsForSlot: a queued request proceeds once the slot frees.
+func TestQueueWaitsForSlot(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1})
+	s.sem <- struct{}{}
+	go func() { //repro:norecover trivial timed receive, cannot panic
+		time.Sleep(50 * time.Millisecond)
+		<-s.sem
+	}()
+	resp := postSpec(t, ts.URL, smallSpec(t), "csv")
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d, want 200: %s", resp.StatusCode, body)
+	}
+}
+
+// TestDeadline: a request whose budget cannot cover the sweep fails with
+// 504 (buffered formats; the stream acknowledges at row granularity).
+func TestDeadline(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Timeout: time.Millisecond})
+	resp := postSpec(t, ts.URL, smallSpec(t), "csv")
+	if body := readBody(t, resp); resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHealthzAndDraining(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d, want 200", resp.StatusCode)
+	}
+
+	s.SetDraining(true)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz: status %d, want 503", resp.StatusCode)
+	}
+	explore := postSpec(t, ts.URL, smallSpec(t), "csv")
+	if readBody(t, explore); explore.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining explore: status %d, want 503", explore.StatusCode)
+	}
+
+	s.SetDraining(false)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusOK {
+		t.Errorf("undrained healthz: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpointAliases: /v1/metrics and the legacy /metrics alias
+// serve the same document shape.
+func TestMetricsEndpointAliases(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/metrics", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		var doc MetricsDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if doc.Format != MetricsFormat || doc.Version != MetricsVersion {
+			t.Errorf("%s: doc header = %s v%d", path, doc.Format, doc.Version)
+		}
+	}
+}
+
+// TestBlobEndpointMounted: a directory-backed server exposes the blob
+// protocol on the same mux.
+func TestBlobEndpointMounted(t *testing.T) {
+	cache, err := simcache.NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cache, obs.New(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	hash := strings.Repeat("ab", 32)
+	resp, err := http.Get(ts.URL + "/v1/blob/f/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("absent blob: status %d, want 404", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/blob/f/"+hash, strings.NewReader("1 3 4\n"))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("put: status %d, want 204", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/blob/f/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK || string(body) != "1 3 4\n" {
+		t.Errorf("round trip: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// TestMemoryOnlyServerHasNoBlobEndpoint: without a backing directory there
+// is nothing to serve, and the route must not exist.
+func TestMemoryOnlyServerHasNoBlobEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/blob/f/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}

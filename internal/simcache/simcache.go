@@ -24,6 +24,14 @@
 // unreadable or corrupt files are treated as misses, so concurrent writers
 // are safe: content addressing makes every writer write the same bytes.
 //
+// A third tier goes over the network (remote.go): SetRemote layers a
+// content-addressed HTTP blob store (NewBlobHandler server, NewRemote
+// client) behind memory and disk, so many hosts deduplicate simulation
+// work without a shared filesystem. Lookup order is memory → disk →
+// remote; computed and remotely-recovered values propagate back down
+// (disk write, best-effort remote PUT), and every tier is an accelerator
+// only — any remote failure degrades to a local recomputation.
+//
 // The package also aggregates the per-stage hit statistics (entry
 // fragments, class schedules, whole-plan simulations — the last counted by
 // the sweep engine's plan-level cache) that the CLIs report and shard
@@ -73,23 +81,42 @@ type entry[T any] struct {
 // fields are nil when obs is not attached; StageStats methods no-op on nil,
 // so the lookup paths never branch on enablement.
 type tiers struct {
-	hit  *obs.StageStats // settled in-memory reuse
-	disk *obs.StageStats // value recovered from the backing directory
-	miss *obs.StageStats // fresh computation
-	wait *obs.StageStats // blocked behind another goroutine's in-flight compute (ns histogram)
+	hit    *obs.StageStats // settled in-memory reuse
+	disk   *obs.StageStats // value recovered from the backing directory
+	remote *obs.StageStats // value recovered from the remote blob store
+	miss   *obs.StageStats // fresh computation
+	wait   *obs.StageStats // blocked behind another goroutine's in-flight compute (ns histogram)
 }
 
 func (t *tiers) resolve(m *obs.Metrics, kind string) {
 	t.hit = m.Stage("cache/" + kind + "/hit")
 	t.disk = m.Stage("cache/" + kind + "/disk")
+	t.remote = m.Stage("cache/" + kind + "/remote")
 	t.miss = m.Stage("cache/" + kind + "/miss")
 	t.wait = m.Stage("cache/" + kind + "/wait")
 }
 
+// The fragment kinds, used as disk filename prefixes and blob protocol
+// path segments alike.
+const (
+	kindFragment = "f" // entry fragments (transfer replays)
+	kindClass    = "c" // class lengths (list-scheduled latencies)
+)
+
+// Lookup tiers below memory, as reported by load.
+type tier int
+
+const (
+	tierNone   tier = iota // not found: compute
+	tierDisk               // recovered from the backing directory
+	tierRemote             // recovered from the remote blob store
+)
+
 // Cache memoizes fragments and class lengths. The zero value is not usable;
 // use New or NewDir.
 type Cache struct {
-	dir string // "" = memory only
+	dir    string  // "" = memory only
+	remote *Remote // nil = no network tier
 
 	mu      sync.Mutex
 	frags   map[string]*entry[Fragment]
@@ -124,6 +151,12 @@ func NewDir(dir string) (*Cache, error) {
 
 // Dir returns the backing directory ("" for a memory-only cache).
 func (c *Cache) Dir() string { return c.dir }
+
+// SetRemote attaches the network tier: keys missing from memory and disk
+// are fetched from the blob server before being recomputed, and computed
+// values are published back (best-effort). Call before concurrent use,
+// like SetObs.
+func (c *Cache) SetRemote(r *Remote) { c.remote = r }
 
 // SetObs mirrors the cache's tier outcomes into per-stage obs counters
 // ("cache/{frag,class}/{hit,disk,miss,wait}", "cache/plan/{hit,miss}"),
@@ -160,9 +193,15 @@ func (c *Cache) Fragment(key string, compute func() (Fragment, error)) (Fragment
 			e.done.Store(true)
 		}()
 		var a, b int
-		if c.load("f", key, &a, &b) {
+		switch c.load(kindFragment, key, &a, &b) {
+		case tierDisk:
 			c.stats.entryDiskHits.Add(1)
 			c.fragT.disk.Inc()
+			e.val = Fragment{Loads: a, Stores: b}
+			return
+		case tierRemote:
+			c.stats.entryRemoteHits.Add(1)
+			c.fragT.remote.Inc()
 			e.val = Fragment{Loads: a, Stores: b}
 			return
 		}
@@ -170,7 +209,7 @@ func (c *Cache) Fragment(key string, compute func() (Fragment, error)) (Fragment
 		c.fragT.miss.Inc()
 		e.val, e.err = compute()
 		if e.err == nil {
-			c.store("f", key, e.val.Loads, e.val.Stores)
+			c.store(kindFragment, key, e.val.Loads, e.val.Stores)
 		}
 	}
 	if claimed {
@@ -210,9 +249,15 @@ func (c *Cache) ClassLen(key string, compute func() (ClassLen, error)) (ClassLen
 			e.done.Store(true)
 		}()
 		var a, b int
-		if c.load("c", key, &a, &b) {
+		switch c.load(kindClass, key, &a, &b) {
+		case tierDisk:
 			c.stats.classDiskHits.Add(1)
 			c.classT.disk.Inc()
+			e.val = ClassLen{Iter: a, Mem: b}
+			return
+		case tierRemote:
+			c.stats.classRemoteHits.Add(1)
+			c.classT.remote.Inc()
 			e.val = ClassLen{Iter: a, Mem: b}
 			return
 		}
@@ -220,7 +265,7 @@ func (c *Cache) ClassLen(key string, compute func() (ClassLen, error)) (ClassLen
 		c.classT.miss.Inc()
 		e.val, e.err = compute()
 		if e.err == nil {
-			c.store("c", key, e.val.Iter, e.val.Mem)
+			c.store(kindClass, key, e.val.Iter, e.val.Mem)
 		}
 	}
 	if claimed {
@@ -254,49 +299,114 @@ func (c *Cache) PlanMiss() {
 	c.planMissT.Inc()
 }
 
-// path returns the backing file of one key: the kind prefix plus the
-// SHA-256 of the key (keys are long canonical strings; the digest is the
-// filename-safe content address).
-func (c *Cache) path(kind, key string) string {
+// hashKey is the content address of one key: keys are long canonical
+// strings, and the SHA-256 hex digest is the filename- and URL-safe form
+// shared by the disk tier (filename suffix) and the blob protocol (path
+// segment).
+func hashKey(key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(c.dir, kind+hex.EncodeToString(sum[:]))
+	return hex.EncodeToString(sum[:])
 }
 
-// load probes the backing file for key; any read or parse failure is a miss.
-func (c *Cache) load(kind, key string, a, b *int) bool {
-	if c.dir == "" {
-		return false
-	}
-	data, err := os.ReadFile(c.path(kind, key))
-	if err != nil {
-		return false
-	}
+// path returns the backing file of one key: the kind prefix plus the
+// key's content address.
+func (c *Cache) path(kind, key string) string {
+	return filepath.Join(c.dir, kind+hashKey(key))
+}
+
+// encodeValue and decodeValue are the v1 value wire/disk format: a leading
+// format flag and two non-negative decimal ints. decodeValue is the
+// revalidation gate on every ingest path (disk read, remote GET, blob-server
+// PUT): anything that does not parse is a miss, never a crash.
+func encodeValue(a, b int) []byte {
+	return []byte(fmt.Sprintf("1 %d %d\n", a, b))
+}
+
+func decodeValue(data []byte, a, b *int) bool {
 	var v int
 	if n, err := fmt.Sscanf(string(data), "%d %d %d", &v, a, b); n != 3 || err != nil || v != 1 {
 		return false
 	}
-	return true
+	return *a >= 0 && *b >= 0
 }
 
-// store persists one value atomically: full write to a temp file in the
-// same directory, then rename. Failures are ignored — the disk layer is an
-// accelerator, never a correctness dependency.
+// load probes the tiers below memory for key — disk first, then the remote
+// blob store — reporting which tier supplied the value. A remote hit is
+// written back to the local disk tier so the next process sharing the
+// directory (and this process after restart) finds it locally. Any read,
+// network or parse failure is a miss.
+func (c *Cache) load(kind, key string, a, b *int) tier {
+	var hash string
+	if c.dir != "" || c.remote != nil {
+		hash = hashKey(key)
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(filepath.Join(c.dir, kind+hash)); err == nil && decodeValue(data, a, b) {
+			return tierDisk
+		}
+	}
+	if c.remote != nil {
+		data, found, err := c.remote.get(kind, hash)
+		if err == nil && found && decodeValue(data, a, b) {
+			if c.dir != "" {
+				c.writeBlob(kind+hash, encodeValue(*a, *b))
+			}
+			return tierRemote
+		}
+	}
+	return tierNone
+}
+
+// store persists one computed value to the tiers below memory: the local
+// disk file (when directory-backed) and the remote blob store (when
+// attached), both best-effort — the lower tiers are accelerators, never a
+// correctness dependency.
 func (c *Cache) store(kind, key string, a, b int) {
-	if c.dir == "" {
+	if c.dir == "" && c.remote == nil {
 		return
 	}
+	hash := hashKey(key)
+	data := encodeValue(a, b)
+	if c.dir != "" {
+		c.writeBlob(kind+hash, data)
+	}
+	if c.remote != nil {
+		c.remote.put(kind, hash, data)
+	}
+}
+
+// readBlob returns the raw validated bytes of one blob from the backing
+// directory, by its on-disk name (kind prefix + key hash). Unreadable or
+// malformed files are errors, which the blob server surfaces as a 404.
+func (c *Cache) readBlob(kind, hash string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(c.dir, kind+hash))
+	if err != nil {
+		return nil, err
+	}
+	var a, b int
+	if !decodeValue(data, &a, &b) {
+		return nil, fmt.Errorf("simcache: corrupt blob %s%s", kind, hash)
+	}
+	return data, nil
+}
+
+// writeBlob persists one blob atomically under its on-disk name: full write
+// to a temp file in the same directory, then rename. Failures are ignored —
+// content addressing makes every writer write the same bytes, so a lost
+// write only costs a future recomputation.
+func (c *Cache) writeBlob(name string, data []byte) {
 	tmp, err := os.CreateTemp(c.dir, "tmp-")
 	if err != nil {
 		return
 	}
-	name := tmp.Name()
-	_, werr := fmt.Fprintf(tmp, "1 %d %d\n", a, b)
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(name)
+		os.Remove(tmpName)
 		return
 	}
-	if err := os.Rename(name, c.path(kind, key)); err != nil {
-		os.Remove(name)
+	if err := os.Rename(tmpName, filepath.Join(c.dir, name)); err != nil {
+		os.Remove(tmpName)
 	}
 }

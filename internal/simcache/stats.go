@@ -7,43 +7,48 @@ import (
 
 // stats is the live atomic counter set of one cache.
 type stats struct {
-	entryHits, entryDiskHits, entryMisses atomic.Int64
-	classHits, classDiskHits, classMisses atomic.Int64
-	planHits, planMisses                  atomic.Int64
+	entryHits, entryDiskHits, entryRemoteHits, entryMisses atomic.Int64
+	classHits, classDiskHits, classRemoteHits, classMisses atomic.Int64
+	planHits, planMisses                                   atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the per-stage cache counters, the
 // JSON-portable form shard trailers carry and merges sum. For each stage,
 // hits are in-memory reuses, disk hits are values recovered from the
-// backing directory (written by this or another process), and misses are
-// fresh computations; hits + disk hits + misses = total lookups. Within
-// one process the miss counts are deterministic for a given space (they
-// count distinct keys, never goroutine scheduling); across processes
-// racing on one backing directory, the split between misses and disk
-// hits depends on which process persisted a key first, so summed
-// multi-process counters are diagnostics, not invariants.
+// backing directory (written by this or another process), remote hits are
+// values recovered from the network blob store, and misses are fresh
+// computations; hits + disk hits + remote hits + misses = total lookups.
+// Within one process the miss counts are deterministic for a given space
+// (they count distinct keys, never goroutine scheduling); across processes
+// racing on one backing directory or blob server, the split between
+// misses and disk/remote hits depends on which process persisted a key
+// first, so summed multi-process counters are diagnostics, not invariants.
 type Snapshot struct {
-	EntryHits     int64 `json:"entry_hits"`
-	EntryDiskHits int64 `json:"entry_disk_hits,omitempty"`
-	EntryMisses   int64 `json:"entry_misses"`
-	ClassHits     int64 `json:"class_hits"`
-	ClassDiskHits int64 `json:"class_disk_hits,omitempty"`
-	ClassMisses   int64 `json:"class_misses"`
-	PlanHits      int64 `json:"plan_hits"`
-	PlanMisses    int64 `json:"plan_misses"`
+	EntryHits       int64 `json:"entry_hits"`
+	EntryDiskHits   int64 `json:"entry_disk_hits,omitempty"`
+	EntryRemoteHits int64 `json:"entry_remote_hits,omitempty"`
+	EntryMisses     int64 `json:"entry_misses"`
+	ClassHits       int64 `json:"class_hits"`
+	ClassDiskHits   int64 `json:"class_disk_hits,omitempty"`
+	ClassRemoteHits int64 `json:"class_remote_hits,omitempty"`
+	ClassMisses     int64 `json:"class_misses"`
+	PlanHits        int64 `json:"plan_hits"`
+	PlanMisses      int64 `json:"plan_misses"`
 }
 
 // Snapshot returns the current counter values.
 func (c *Cache) Snapshot() Snapshot {
 	return Snapshot{
-		EntryHits:     c.stats.entryHits.Load(),
-		EntryDiskHits: c.stats.entryDiskHits.Load(),
-		EntryMisses:   c.stats.entryMisses.Load(),
-		ClassHits:     c.stats.classHits.Load(),
-		ClassDiskHits: c.stats.classDiskHits.Load(),
-		ClassMisses:   c.stats.classMisses.Load(),
-		PlanHits:      c.stats.planHits.Load(),
-		PlanMisses:    c.stats.planMisses.Load(),
+		EntryHits:       c.stats.entryHits.Load(),
+		EntryDiskHits:   c.stats.entryDiskHits.Load(),
+		EntryRemoteHits: c.stats.entryRemoteHits.Load(),
+		EntryMisses:     c.stats.entryMisses.Load(),
+		ClassHits:       c.stats.classHits.Load(),
+		ClassDiskHits:   c.stats.classDiskHits.Load(),
+		ClassRemoteHits: c.stats.classRemoteHits.Load(),
+		ClassMisses:     c.stats.classMisses.Load(),
+		PlanHits:        c.stats.planHits.Load(),
+		PlanMisses:      c.stats.planMisses.Load(),
 	}
 }
 
@@ -51,14 +56,34 @@ func (c *Cache) Snapshot() Snapshot {
 // statistics of independent worker processes.
 func (s Snapshot) Add(o Snapshot) Snapshot {
 	return Snapshot{
-		EntryHits:     s.EntryHits + o.EntryHits,
-		EntryDiskHits: s.EntryDiskHits + o.EntryDiskHits,
-		EntryMisses:   s.EntryMisses + o.EntryMisses,
-		ClassHits:     s.ClassHits + o.ClassHits,
-		ClassDiskHits: s.ClassDiskHits + o.ClassDiskHits,
-		ClassMisses:   s.ClassMisses + o.ClassMisses,
-		PlanHits:      s.PlanHits + o.PlanHits,
-		PlanMisses:    s.PlanMisses + o.PlanMisses,
+		EntryHits:       s.EntryHits + o.EntryHits,
+		EntryDiskHits:   s.EntryDiskHits + o.EntryDiskHits,
+		EntryRemoteHits: s.EntryRemoteHits + o.EntryRemoteHits,
+		EntryMisses:     s.EntryMisses + o.EntryMisses,
+		ClassHits:       s.ClassHits + o.ClassHits,
+		ClassDiskHits:   s.ClassDiskHits + o.ClassDiskHits,
+		ClassRemoteHits: s.ClassRemoteHits + o.ClassRemoteHits,
+		ClassMisses:     s.ClassMisses + o.ClassMisses,
+		PlanHits:        s.PlanHits + o.PlanHits,
+		PlanMisses:      s.PlanMisses + o.PlanMisses,
+	}
+}
+
+// Sub returns the counter-wise difference s - o: the lookups recorded
+// between two snapshots of one live cache, which is how a long-running
+// server attributes cache activity to a single request.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		EntryHits:       s.EntryHits - o.EntryHits,
+		EntryDiskHits:   s.EntryDiskHits - o.EntryDiskHits,
+		EntryRemoteHits: s.EntryRemoteHits - o.EntryRemoteHits,
+		EntryMisses:     s.EntryMisses - o.EntryMisses,
+		ClassHits:       s.ClassHits - o.ClassHits,
+		ClassDiskHits:   s.ClassDiskHits - o.ClassDiskHits,
+		ClassRemoteHits: s.ClassRemoteHits - o.ClassRemoteHits,
+		ClassMisses:     s.ClassMisses - o.ClassMisses,
+		PlanHits:        s.PlanHits - o.PlanHits,
+		PlanMisses:      s.PlanMisses - o.PlanMisses,
 	}
 }
 
@@ -66,16 +91,21 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 func (s Snapshot) Zero() bool { return s == Snapshot{} }
 
 // String renders the per-stage counters for stderr stats lines, as
-// hits+diskHits/misses per stage.
+// hits+diskHits+remoteHits/misses per stage.
 func (s Snapshot) String() string {
-	stage := func(h, d, m int64) string {
-		if d > 0 {
+	stage := func(h, d, r, m int64) string {
+		switch {
+		case d > 0 && r > 0:
+			return fmt.Sprintf("%d+%dd+%dr/%d", h, d, r, m)
+		case r > 0:
+			return fmt.Sprintf("%d+%dr/%d", h, r, m)
+		case d > 0:
 			return fmt.Sprintf("%d+%dd/%d", h, d, m)
 		}
 		return fmt.Sprintf("%d/%d", h, m)
 	}
 	return fmt.Sprintf("frag %s, class %s, plan %s",
-		stage(s.EntryHits, s.EntryDiskHits, s.EntryMisses),
-		stage(s.ClassHits, s.ClassDiskHits, s.ClassMisses),
-		stage(s.PlanHits, 0, s.PlanMisses))
+		stage(s.EntryHits, s.EntryDiskHits, s.EntryRemoteHits, s.EntryMisses),
+		stage(s.ClassHits, s.ClassDiskHits, s.ClassRemoteHits, s.ClassMisses),
+		stage(s.PlanHits, 0, 0, s.PlanMisses))
 }
