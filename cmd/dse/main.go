@@ -50,11 +50,17 @@
 //	curl -d @spec.json 'localhost:8080/v1/explore?format=csv'
 //	dse cached -addr :8081 -simcache-dir /var/sc &    # ...or just the blob store
 //	dse -simcache-url http://cachehost:8081           # sweep against it
+//
+//	dse -space spec.json -points 3,17,40 > t.jsonl    # explicit points, task encoding
+//	dse fleet -local 3 -dir /tmp/sweep                # fault-tolerant multi-executor sweep
+//	dse fleet -remote http://a:8080,http://b:8080     # ...across serve endpoints
+//	dse faultproxy -target http://localhost:8081 -shed-rate 0.2 -cut-rate 0.1
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -66,10 +72,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/dse"
+	"repro/internal/fleet"
+	"repro/internal/fleet/faultinject"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -79,9 +88,11 @@ import (
 func main() {
 	if len(os.Args) > 1 {
 		if sub, ok := map[string]func([]string) error{
-			"merge":  runMerge,
-			"serve":  runServe,
-			"cached": runCached,
+			"merge":      runMerge,
+			"serve":      runServe,
+			"cached":     runCached,
+			"fleet":      runFleet,
+			"faultproxy": runFaultProxy,
 		}[os.Args[1]]; ok {
 			if err := sub(os.Args[2:]); err != nil {
 				fmt.Fprintf(os.Stderr, "dse %s: %v\n", os.Args[1], err)
@@ -102,6 +113,8 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.format, "format", "table", "output format: table, csv or json")
 	flag.StringVar(&cfg.shardSpec, "shard", "", "evaluate one shard i/n of the space and emit the portable shard encoding instead of a report")
+	flag.StringVar(&cfg.spacePath, "space", "", "load the space from this spec JSON file instead of the axis flags (mutually exclusive with them)")
+	flag.StringVar(&cfg.pointsSpec, "points", "", "evaluate exactly these comma-separated global point indices and emit the portable task encoding (the `dse fleet` worker shape)")
 	flag.BoolVar(&cfg.strict, "strict", false, "exit non-zero when any design point fails")
 	flag.BoolVar(&cfg.nocache, "nocache", false, "disable the cross-point simulation cache (diagnostic; output is byte-identical either way)")
 	flag.BoolVar(&cfg.portfolio, "portfolio", false, "run every allocator per point and keep the best design by (time, slices, registers)")
@@ -118,9 +131,16 @@ func main() {
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+	axisFlags := map[string]bool{
+		"kernels": true, "allocs": true, "budgets": true, "devices": true,
+		"memlat": true, "ports": true, "portfolio": true, "portfolio-all": true,
+	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "format" {
 			cfg.formatSet = true
+		}
+		if axisFlags[f.Name] {
+			cfg.axisFlagSet = f.Name
 		}
 	})
 	if *cpuProf != "" {
@@ -153,6 +173,8 @@ func main() {
 type cliConfig struct {
 	workers                               int
 	format, shardSpec, cacheDir, cacheURL string
+	spacePath, pointsSpec                 string
+	axisFlagSet                           string // name of an explicitly set axis flag ("" = none)
 	formatSet, strict, nocache            bool
 	portfolio, pfAll, quiet               bool
 	metricsPath, metricsAddr              string
@@ -181,15 +203,35 @@ func writeHeapProfile(path string) error {
 }
 
 func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList string, cfg cliConfig) error {
-	if cfg.pfAll && cfg.shardSpec != "" {
-		return errors.New("-portfolio-all is a local diagnostic and cannot be combined with -shard (shard rows carry winners only)")
+	if cfg.pfAll && (cfg.shardSpec != "" || cfg.pointsSpec != "") {
+		return errors.New("-portfolio-all is a local diagnostic and cannot be combined with -shard or -points (portable rows carry winners only)")
 	}
-	sp, err := dse.BuildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList)
-	if err != nil {
-		return err
+	if cfg.shardSpec != "" && cfg.pointsSpec != "" {
+		return errors.New("-shard and -points are mutually exclusive slices of the space")
 	}
-	sp.Portfolio = cfg.portfolio || cfg.pfAll
-	sp.PortfolioAll = cfg.pfAll
+	var sp dse.Space
+	var err error
+	if cfg.spacePath != "" {
+		// A spec file is the whole space, axes included: combining it with
+		// axis flags would silently discard one of the two descriptions.
+		if cfg.axisFlagSet != "" {
+			return fmt.Errorf("-space is mutually exclusive with the axis flags (-%s was set)", cfg.axisFlagSet)
+		}
+		spec, err := loadSpec(cfg.spacePath)
+		if err != nil {
+			return err
+		}
+		if sp, err = spec.Space(); err != nil {
+			return err
+		}
+	} else {
+		sp, err = dse.BuildSpace(kernelList, allocList, budgetList, deviceList, memlatList, portsList)
+		if err != nil {
+			return err
+		}
+		sp.Portfolio = cfg.portfolio || cfg.pfAll
+		sp.PortfolioAll = cfg.pfAll
+	}
 
 	// Observability is always on in the CLI: the disabled path exists for
 	// library users and the allocation regression tests; one metrics
@@ -262,6 +304,23 @@ func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList st
 		if err != nil {
 			return err
 		}
+	} else if cfg.pointsSpec != "" {
+		pts, perr := dse.ParseInts(cfg.pointsSpec, 0)
+		if perr != nil {
+			return fmt.Errorf("-points: %w", perr)
+		}
+		metrics.SetBase("points", fmt.Sprintf("%d", len(pts)))
+		if cfg.formatSet {
+			fmt.Fprintln(os.Stderr, "dse: note: -format is ignored with -points; explicit point-sets always emit the portable task encoding (assemble with `dse fleet` or `dse merge` tooling)")
+		}
+		out := bufio.NewWriter(os.Stdout)
+		st, err = engine.ExploreSubsetStream(context.Background(), sp, pts, shard.NewTaskWriter(out, pts))
+		if err != nil {
+			return err
+		}
+		if err := out.Flush(); err != nil {
+			return err
+		}
 	} else {
 		rep, rerr := dse.RendererFor(cfg.format)
 		if rerr != nil {
@@ -302,6 +361,8 @@ func run(kernelList, allocList, budgetList, deviceList, memlatList, portsList st
 		prefix := "dse"
 		if cfg.shardSpec != "" {
 			prefix = fmt.Sprintf("dse: shard %s", plan)
+		} else if cfg.pointsSpec != "" {
+			prefix = fmt.Sprintf("dse: points[%d]", st.Points)
 		}
 		fmt.Fprintf(os.Stderr, "%s: %d points in %v (%d failed, %s)\n%s: stages: %s\n",
 			prefix, st.Points, wall.Round(time.Millisecond), st.Failed, simsNote(st, cfg.nocache),
@@ -539,4 +600,223 @@ func serveUntilSignal(ln net.Listener, h http.Handler, onDrain func()) error {
 	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	return hs.Shutdown(sctx)
+}
+
+// loadSpec reads a SpaceSpec JSON file (the body `dse serve` accepts, the
+// header shard files carry).
+func loadSpec(path string) (dse.SpaceSpec, error) {
+	var s dse.SpaceSpec
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: not a space spec: %w", path, err)
+	}
+	return s, nil
+}
+
+// runFleet is the `dse fleet` entry point: the fault-tolerant
+// multi-executor sweep driver (internal/fleet) over local dse
+// subprocesses and/or remote `dse serve` endpoints, with checkpointed
+// point-granular recovery. Rerunning with the same -dir resumes from
+// whatever the previous run salvaged.
+func runFleet(args []string) error {
+	fs := flag.NewFlagSet("dse fleet", flag.ExitOnError)
+	kernelList := fs.String("kernels", "", "comma-separated kernels (default: the six Table-1 kernels)")
+	allocList := fs.String("allocs", "", "comma-separated allocators (default: FR-RA,PR-RA,CPA-RA,KS-RA)")
+	budgetList := fs.String("budgets", "16,32,64,128", "comma-separated register budgets (0 = kernel default)")
+	deviceList := fs.String("devices", "XCV1000,XC2V6000", "comma-separated device presets")
+	memlatList := fs.String("memlat", "1", "comma-separated RAM access latencies (cycles)")
+	portsList := fs.String("ports", "1", "comma-separated RAM port counts")
+	spacePath := fs.String("space", "", "load the space from this spec JSON file instead of the axis flags")
+	format := fs.String("format", "table", "output format: table, csv or json")
+	dir := fs.String("dir", "", "checkpoint directory; rerun with the same -dir to resume (default: a fresh temp directory, removed on exit)")
+	local := fs.Int("local", 0, "local dse subprocess executors (default: 2 when no -remote is given)")
+	remotes := fs.String("remote", "", "comma-separated base URLs of `dse serve` endpoints to enlist")
+	bin := fs.String("bin", "", "dse binary for local executors (default: this executable)")
+	cacheDir := fs.String("simcache-dir", "", "shared fragment store directory passed to local executors")
+	cacheURL := fs.String("simcache-url", "", "blob server URL passed to local executors")
+	tasks := fs.Int("tasks", 0, "initial task partition count (0 = one per executor)")
+	maxAttempts := fs.Int("max-attempts", 0, "consecutive zero-progress attempts before a task fails the run (0 = 3)")
+	budget := fs.Int("attempt-budget", 0, "total dispatches across the run (0 = tasks + 8 per executor)")
+	backoff := fs.Duration("backoff", 0, "first-retry backoff, doubling per consecutive failure (0 = 100ms)")
+	stallFloor := fs.Duration("stall-floor", 0, "minimum no-progress time before a straggler kill (0 = 10s)")
+	stallFactor := fs.Float64("stall-factor", 0, "straggler threshold as a multiple of the fleet-wide p99 row gap (0 = 16)")
+	maxExecFails := fs.Int("max-exec-fails", 0, "consecutive failures before an executor retires (0 = 3)")
+	reportPath := fs.String("report", "", "write the recovery report (attempts, salvages, steals, stragglers) as JSON to this file")
+	strict := fs.Bool("strict", false, "exit non-zero when any design point fails")
+	quiet := fs.Bool("quiet", false, "suppress stderr scheduling and summary lines")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dse fleet [-local n] [-remote url,url] [-dir d] [axis flags | -space spec.json] [-format f] [tuning flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	var spec dse.SpaceSpec
+	if *spacePath != "" {
+		axisFlags := map[string]bool{
+			"kernels": true, "allocs": true, "budgets": true, "devices": true,
+			"memlat": true, "ports": true,
+		}
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			if axisFlags[f.Name] {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-space is mutually exclusive with the axis flags (-%s was set)", conflict)
+		}
+		var err error
+		if spec, err = loadSpec(*spacePath); err != nil {
+			return err
+		}
+		if _, err := spec.Space(); err != nil {
+			return err
+		}
+	} else {
+		sp, err := dse.BuildSpace(*kernelList, *allocList, *budgetList, *deviceList, *memlatList, *portsList)
+		if err != nil {
+			return err
+		}
+		spec = dse.Spec(sp)
+	}
+
+	nLocal := *local
+	if nLocal == 0 && *remotes == "" {
+		nLocal = 2
+	}
+	var workerArgs []string
+	if *cacheDir != "" {
+		workerArgs = append(workerArgs, "-simcache-dir", *cacheDir)
+	}
+	if *cacheURL != "" {
+		workerArgs = append(workerArgs, "-simcache-url", *cacheURL)
+	}
+	var execs []fleet.Executor
+	for i := 0; i < nLocal; i++ {
+		execs = append(execs, &fleet.ProcExecutor{Label: fmt.Sprintf("local%d", i), Bin: *bin, Args: workerArgs})
+	}
+	ri := 0
+	for _, u := range strings.Split(*remotes, ",") {
+		if u = strings.TrimSpace(u); u == "" {
+			continue
+		}
+		execs = append(execs, &fleet.HTTPExecutor{Label: fmt.Sprintf("remote%d", ri), Base: u})
+		ri++
+	}
+	if len(execs) == 0 {
+		return errors.New("no executors: -local 0 and no -remote endpoints")
+	}
+
+	var logw io.Writer
+	if !*quiet {
+		logw = os.Stderr
+	}
+	d, err := fleet.New(fleet.Config{
+		Dir: *dir, Tasks: *tasks,
+		MaxAttempts: *maxAttempts, AttemptBudget: *budget, Backoff: *backoff,
+		StallFloor: *stallFloor, StallFactor: *stallFactor,
+		MaxExecFails: *maxExecFails, Log: logw,
+	}, execs...)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	rs, frep, err := d.Run(ctx, spec)
+	if *reportPath != "" {
+		// The report is the run's recovery record; write it on failure too —
+		// the CI chaos smoke and a resuming operator both want it.
+		data, merr := json.MarshalIndent(frep, "", "  ")
+		if merr == nil {
+			merr = os.WriteFile(*reportPath, append(data, '\n'), 0o644)
+		}
+		if merr != nil && err == nil {
+			err = merr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	rep, err := dse.RendererFor(*format)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	if err := rep.Report(out, rs); err != nil {
+		return err
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "dse fleet: %d points on %d executors in %v (%d tasks, %d attempts; resumed %d rows, salvaged %d attempts, stole %d tasks, killed %d stragglers, retired %d executors)\n",
+			len(rs.Results), len(execs), time.Since(start).Round(time.Millisecond),
+			frep.Tasks, frep.Attempts, frep.ResumedRows, frep.Salvaged, frep.Stolen, frep.Stragglers, frep.Retired)
+	}
+	if *strict {
+		return rs.FirstErr()
+	}
+	return nil
+}
+
+// runFaultProxy is the `dse faultproxy` entry point: a seeded
+// fault-injecting HTTP pass-through (internal/fleet/faultinject) for
+// chaos-testing fleets across real processes — stand it between workers
+// and a `dse cached`/`dse serve` upstream and dial in sheds, errors,
+// latency and mid-stream cuts.
+func runFaultProxy(args []string) error {
+	fs := flag.NewFlagSet("dse faultproxy", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address")
+	target := fs.String("target", "", "upstream base URL to forward to (required)")
+	seed := fs.Int64("seed", 1, "fault schedule seed (same seed, same fault sequence)")
+	errorRate := fs.Float64("error-rate", 0, "probability a request fails upstream-less with 502")
+	shedRate := fs.Float64("shed-rate", 0, "probability a request is shed with 503 + Retry-After")
+	retryAfter := fs.Int("retry-after", 1, "Retry-After seconds on synthetic sheds")
+	latencyRate := fs.Float64("latency-rate", 0, "probability a request is delayed by -latency")
+	latency := fs.Duration("latency", 0, "injected delay for -latency-rate requests")
+	cutRate := fs.Float64("cut-rate", 0, "probability a response body is cut mid-stream")
+	cutAfter := fs.Int64("cut-after", 0, "bytes forwarded before a cut (0 = 64)")
+	quiet := fs.Bool("quiet", false, "suppress stderr lifecycle lines")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dse faultproxy -target url [-addr host:port] [-seed n] [-shed-rate p] [-error-rate p] [-latency-rate p -latency d] [-cut-rate p] [-cut-after bytes]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *target == "" {
+		return errors.New("-target is required")
+	}
+	p := &faultinject.Proxy{
+		Target: *target,
+		T: &faultinject.Transport{
+			S:         faultinject.NewSchedule(*seed),
+			ErrorRate: *errorRate,
+			ShedRate:  *shedRate, RetryAfterSecs: *retryAfter,
+			LatencyRate: *latencyRate, Latency: *latency,
+			CutRate: *cutRate, CutAfter: *cutAfter,
+		},
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "dse faultproxy: %s -> %s (seed %d, shed %.2f, error %.2f, cut %.2f)\n",
+			ln.Addr(), *target, *seed, *shedRate, *errorRate, *cutRate)
+	}
+	return serveUntilSignal(ln, p, nil)
 }

@@ -1,0 +1,125 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cancelReporter cancels a context from inside Point after `after` rows,
+// returning nil from every call — so any halt the engine performs is
+// attributable to the context alone, not the reporter-error path.
+type cancelReporter struct {
+	after  int
+	cancel context.CancelFunc
+	points atomic.Int64
+}
+
+func (c *cancelReporter) Begin(Space, int) error { return nil }
+func (c *cancelReporter) Point(Result) error {
+	if int(c.points.Add(1)) == c.after {
+		c.cancel()
+	}
+	return nil
+}
+func (c *cancelReporter) End(StreamStats) error { return errors.New("End after cancellation") }
+
+// TestExploreStreamCtxCancelExitsPromptly pins the fleet-executor
+// cancellation contract: a cancelled context halts dispatch, the engine
+// returns ctx.Err() without calling End, and no pool goroutine — worker,
+// feeder, closer or watcher — outlives the call.
+func TestExploreStreamCtxCancelExitsPromptly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep := &cancelReporter{after: 5, cancel: cancel}
+	st, err := Engine{Workers: 4}.ExploreStreamCtx(ctx, DefaultSpace(), rep)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Points >= 192 {
+		t.Fatalf("cancellation after 5 rows still emitted all %d points", st.Points)
+	}
+	// The pool must fully unwind: poll for the goroutine count to return
+	// to (near) baseline. Allowance of +3 covers unrelated runtime noise.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+3 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after cancel: %d before, %d after\n%s",
+				before, g, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExploreStreamCtxPreCancelled: a context cancelled before the call
+// evaluates nothing it can avoid and reports the cancellation.
+func TestExploreStreamCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var col collector
+	_, err := Engine{Workers: 2}.ExploreStreamCtx(ctx, smallSpace(), &col)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExploreSubsetStream pins the residual-set entry point: an arbitrary
+// strictly-increasing subset of global indices yields exactly those rows,
+// identical to the same rows of a full exploration.
+func TestExploreSubsetStream(t *testing.T) {
+	sp := smallSpace()
+	full := mustExplore(t, Engine{Workers: 4}, sp)
+	subset := []int{1, 3, 4, 9, len(full.Results) - 1}
+	var col collector
+	st, err := Engine{Workers: 4}.ExploreSubsetStream(context.Background(), sp, subset, &col)
+	if err != nil {
+		t.Fatalf("ExploreSubsetStream: %v", err)
+	}
+	if st.Points != len(subset) || len(col.rows) != len(subset) {
+		t.Fatalf("got %d rows, want %d", len(col.rows), len(subset))
+	}
+	for i, g := range subset {
+		got, want := col.rows[i], full.Results[g]
+		if got.Point.Index != g {
+			t.Fatalf("row %d has index %d, want %d", i, got.Point.Index, g)
+		}
+		if (got.Design == nil) != (want.Design == nil) {
+			t.Fatalf("row %d design presence differs from full run", g)
+		}
+		if got.Design != nil && (got.Design.TimeUs != want.Design.TimeUs ||
+			got.Design.Slices != want.Design.Slices ||
+			got.Design.Registers != want.Design.Registers ||
+			got.Design.Cycles != want.Design.Cycles) {
+			t.Fatalf("row %d design differs from full run: %+v vs %+v", g, got.Design, want.Design)
+		}
+	}
+}
+
+// TestExploreSubsetStreamValidation rejects malformed subsets.
+func TestExploreSubsetStreamValidation(t *testing.T) {
+	sp := smallSpace()
+	for _, tc := range []struct {
+		name   string
+		subset []int
+		want   string
+	}{
+		{"out of range", []int{0, 10_000}, "out of range"},
+		{"negative", []int{-1}, "out of range"},
+		{"unsorted", []int{3, 1}, "strictly increasing"},
+		{"duplicate", []int{2, 2}, "strictly increasing"},
+	} {
+		var col collector
+		_, err := Engine{}.ExploreSubsetStream(context.Background(), sp, tc.subset, &col)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -192,7 +192,7 @@ func (e Engine) Explore(sp Space) (*ResultSet, error) {
 func (e Engine) ExploreShard(sp Space, shardIndex, shardCount int) (*ResultSet, error) {
 	var col collector
 	// Window 0 = no backpressure: the collector buffers everything anyway.
-	st, err := e.exploreStream(sp, shardIndex, shardCount, 0, &col)
+	st, err := e.exploreStream(context.Background(), sp, shardIndex, shardCount, 0, &col)
 	if err != nil {
 		return nil, err
 	}

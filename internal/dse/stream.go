@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -57,32 +58,45 @@ type StreamStats struct {
 // complete. Unlike Explore, memory is bounded by the window (plus whatever
 // sr retains), not by the number of points.
 func (e Engine) ExploreStream(sp Space, sr StreamReporter) (StreamStats, error) {
-	return e.exploreStream(sp, 0, 1, e.window(), sr)
+	return e.exploreStream(context.Background(), sp, 0, 1, e.window(), sr)
+}
+
+// ExploreStreamCtx is ExploreStream under a context: when ctx is
+// cancelled, dispatch halts immediately (workers finish at most their
+// in-flight point, the feeder exits, no goroutine lingers past the
+// return) and the stream ends without a trailer — the reporter's End is
+// never called, so a consumer of the portable encoding sees a truncated,
+// salvageable file rather than a complete one. Returns ctx.Err().
+func (e Engine) ExploreStreamCtx(ctx context.Context, sp Space, sr StreamReporter) (StreamStats, error) {
+	return e.exploreStream(ctx, sp, 0, 1, e.window(), sr)
 }
 
 // ExploreShardStream is ExploreStream restricted to one shard of an
 // n-way partition: only the points whose global index ≡ shardIndex
 // (mod shardCount) are evaluated, each still carrying its global Index.
 func (e Engine) ExploreShardStream(sp Space, shardIndex, shardCount int, sr StreamReporter) (StreamStats, error) {
-	return e.exploreStream(sp, shardIndex, shardCount, e.window(), sr)
+	return e.exploreStream(context.Background(), sp, shardIndex, shardCount, e.window(), sr)
 }
 
-// exploreStream is the engine core every entry point funnels into: it
-// normalizes the space, selects the owned stride, analyzes the kernels
-// that stride touches, and runs the worker pool. Workers complete out of
-// order; completed results park in an order-restoring window keyed by
-// global point index and are emitted as soon as the run of consecutive
-// owned indices extends. A window semaphore (window > 0) backpressures
-// the producer so at most `window` results are dispatched-but-unemitted
-// at any moment: a slow head-of-line point throttles the pool instead of
-// growing an unbounded reorder buffer. Deadlock-free because indices are
-// dispatched in emission order, so the next result to emit is always
-// already dispatched.
-func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr StreamReporter) (StreamStats, error) {
-	sp, err := sp.normalized()
-	if err != nil {
-		return StreamStats{}, err
-	}
+// ExploreShardStreamCtx is ExploreShardStream under a context (see
+// ExploreStreamCtx for the cancellation contract).
+func (e Engine) ExploreShardStreamCtx(ctx context.Context, sp Space, shardIndex, shardCount int, sr StreamReporter) (StreamStats, error) {
+	return e.exploreStream(ctx, sp, shardIndex, shardCount, e.window(), sr)
+}
+
+// ExploreSubsetStream evaluates exactly the given global point indices —
+// the residual point-sets a fleet driver re-partitions after salvaging a
+// failed shard — streaming them in increasing index order, each carrying
+// its global Index. points must be strictly increasing and within the
+// space; the canonical global numbering (and so output byte-identity
+// after reassembly) is unaffected by how the subset was chosen.
+func (e Engine) ExploreSubsetStream(ctx context.Context, sp Space, points []int, sr StreamReporter) (StreamStats, error) {
+	return e.exploreOwned(ctx, sp, points, e.window(), sr)
+}
+
+// exploreStream selects the owned stride of an n-way partition and runs
+// the core over it.
+func (e Engine) exploreStream(ctx context.Context, sp Space, shardIndex, shardCount, window int, sr StreamReporter) (StreamStats, error) {
 	if shardCount < 1 || shardIndex < 0 || shardIndex >= shardCount {
 		return StreamStats{}, fmt.Errorf("dse: invalid shard %d/%d (want count ≥ 1 and 0 ≤ index < count)", shardIndex, shardCount)
 	}
@@ -91,12 +105,49 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 		// diagnostic is a local rendering concern, not a portable one.
 		return StreamStats{}, fmt.Errorf("dse: the portfolio-all diagnostic is not supported with sharding")
 	}
-	pts := sp.Points()
-	owned := make([]int, 0, (len(pts)+shardCount-1)/shardCount)
-	for i := shardIndex; i < len(pts); i += shardCount {
+	nsp, err := sp.normalized()
+	if err != nil {
+		return StreamStats{}, err
+	}
+	n := nsp.Size()
+	owned := make([]int, 0, (n+shardCount-1)/shardCount)
+	for i := shardIndex; i < n; i += shardCount {
 		owned = append(owned, i)
 	}
-	// Only analyze kernels the owned stride touches: with more shards than
+	return e.exploreOwned(ctx, sp, owned, window, sr)
+}
+
+// exploreOwned is the engine core every entry point funnels into: it
+// normalizes the space, validates the owned index list, analyzes the
+// kernels the owned points touch, and runs the worker pool. Workers
+// complete out of order; completed results park in an order-restoring
+// window keyed by global point index and are emitted as soon as the run
+// of consecutive owned indices extends. A window semaphore (window > 0)
+// backpressures the producer so at most `window` results are
+// dispatched-but-unemitted at any moment: a slow head-of-line point
+// throttles the pool instead of growing an unbounded reorder buffer.
+// Deadlock-free because indices are dispatched in emission order, so the
+// next result to emit is always already dispatched. Cancelling ctx halts
+// dispatch (the same mechanism as a reporter error) and returns ctx.Err()
+// without delivering End.
+func (e Engine) exploreOwned(ctx context.Context, sp Space, owned []int, window int, sr StreamReporter) (StreamStats, error) {
+	sp, err := sp.normalized()
+	if err != nil {
+		return StreamStats{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pts := sp.Points()
+	for i, g := range owned {
+		if g < 0 || g >= len(pts) {
+			return StreamStats{}, fmt.Errorf("dse: owned point index %d out of range [0,%d)", g, len(pts))
+		}
+		if i > 0 && g <= owned[i-1] {
+			return StreamStats{}, fmt.Errorf("dse: owned point indices must be strictly increasing (%d after %d)", g, owned[i-1])
+		}
+	}
+	// Only analyze kernels the owned points touch: with more shards than
 	// points per kernel block, some kernels have no owned points at all.
 	ownedKernels := map[string]bool{}
 	for _, i := range owned {
@@ -204,6 +255,26 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 		wg.Wait()
 		close(results)
 	}()
+	// Cancellation watcher: a cancelled context halts dispatch through the
+	// same stop channel a reporter error uses, so the feeder and workers
+	// exit promptly instead of lingering until the next row emission
+	// notices. watchDone releases the watcher on every return path.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	if done := ctx.Done(); done != nil {
+		go func() {
+			defer func() {
+				if v := recover(); v != nil {
+					onPanic(fmt.Errorf("dse: cancellation watcher panic: %v", v))
+				}
+			}()
+			select {
+			case <-done:
+				halt()
+			case <-watchDone:
+			}
+		}()
+	}
 
 	var st StreamStats
 	var reportErr error
@@ -249,6 +320,11 @@ func (e Engine) exploreStream(sp Space, shardIndex, shardCount, window int, sr S
 	panicMu.Unlock()
 	if perr != nil {
 		return st, perr
+	}
+	// A cancelled run never delivers End: the stream stays visibly
+	// incomplete (no trailer), which is what downstream salvage keys on.
+	if err := ctx.Err(); err != nil {
+		return st, err
 	}
 	if cache != nil {
 		st.UniqueSims = cache.size()

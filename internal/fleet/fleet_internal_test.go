@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSplit: partitions cover exactly the input, strictly increasing, at
+// most n parts, sizes within one of each other.
+func TestSplit(t *testing.T) {
+	pts := []int{1, 3, 4, 7, 9, 12, 15}
+	for n := 1; n <= 9; n++ {
+		parts := split(pts, n)
+		if len(parts) > n || len(parts) > len(pts) {
+			t.Fatalf("n=%d: %d parts", n, len(parts))
+		}
+		seen := map[int]bool{}
+		for _, p := range parts {
+			for i, g := range p {
+				if seen[g] {
+					t.Fatalf("n=%d: %d covered twice", n, g)
+				}
+				seen[g] = true
+				if i > 0 && p[i-1] >= g {
+					t.Fatalf("n=%d: part not increasing: %v", n, p)
+				}
+			}
+		}
+		if len(seen) != len(pts) {
+			t.Fatalf("n=%d: covered %d of %d points", n, len(seen), len(pts))
+		}
+	}
+}
+
+// TestShedWait: the Retry-After hint is honored and capped, garbage gets
+// the conservative default.
+func TestShedWait(t *testing.T) {
+	if got := shedWait("1", 2*time.Second); got != time.Second {
+		t.Errorf("hint 1s → %v", got)
+	}
+	if got := shedWait("3600", 2*time.Second); got != 2*time.Second {
+		t.Errorf("huge hint → %v, want cap", got)
+	}
+	if got := shedWait("soon", 2*time.Second); got != 250*time.Millisecond {
+		t.Errorf("garbage hint → %v, want default", got)
+	}
+	if got := shedWait("", 0); got != 250*time.Millisecond {
+		t.Errorf("no hint → %v, want default", got)
+	}
+}

@@ -1,0 +1,420 @@
+package fleet_test
+
+// Driver-level tests live outside the package so they can compose with
+// the chaos harness (faultinject imports fleet for the Executor type).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/fleet"
+	"repro/internal/fleet/faultinject"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/simcache"
+)
+
+// testSpace is a 16-point space: big enough to partition and kill
+// mid-stream, small enough to sweep in milliseconds.
+func testSpace(t *testing.T) (dse.Space, dse.SpaceSpec) {
+	t.Helper()
+	sp, err := dse.BuildSpace("fir,mat", "CPA-RA,FR-RA", "16,32,64,128", "XCV1000", "1", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp, dse.Spec(sp)
+}
+
+// render renders a result set in all three formats.
+func render(t *testing.T, rs *dse.ResultSet) [3]string {
+	t.Helper()
+	var out [3]string
+	for i, format := range [3]string{"table", "csv", "json"} {
+		rep, err := dse.RendererFor(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Report(&buf, rs); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = buf.String()
+	}
+	return out
+}
+
+// wantRender is the single-process ground truth.
+func wantRender(t *testing.T, sp dse.Space) [3]string {
+	t.Helper()
+	rs, err := dse.Engine{}.Explore(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return render(t, rs)
+}
+
+// assertIdentical asserts fleet output equals the single-process run in
+// every format.
+func assertIdentical(t *testing.T, want [3]string, rs *dse.ResultSet) {
+	t.Helper()
+	got := render(t, rs)
+	for i, format := range [3]string{"table", "csv", "json"} {
+		if got[i] != want[i] {
+			t.Errorf("%s output differs from single-process run", format)
+		}
+	}
+}
+
+func engineExec(label string) *fleet.EngineExecutor {
+	return &fleet.EngineExecutor{Label: label, Engine: dse.Engine{Workers: 2}}
+}
+
+// brokenExec fails every attempt without writing a byte.
+type brokenExec struct{ label string }
+
+func (b *brokenExec) Name() string { return b.label }
+func (b *brokenExec) Run(context.Context, dse.SpaceSpec, []int, io.Writer) error {
+	return errors.New("broken host")
+}
+
+// hangExec writes nothing and blocks until cancelled — the straggler.
+type hangExec struct{ label string }
+
+func (h *hangExec) Name() string { return h.label }
+func (h *hangExec) Run(ctx context.Context, _ dse.SpaceSpec, _ []int, _ io.Writer) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestFleetByteIdentity: the no-fault baseline — three in-process
+// executors produce output byte-identical to a single-process run.
+func TestFleetByteIdentity(t *testing.T) {
+	sp, spec := testSpace(t)
+	want := wantRender(t, sp)
+	d, err := fleet.New(fleet.Config{Tasks: 5},
+		engineExec("a"), engineExec("b"), engineExec("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rep, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, want, rs)
+	if rep.Tasks != 5 || rep.Attempts != 5 {
+		t.Errorf("report %+v, want 5 tasks / 5 attempts", rep)
+	}
+	if rep.Salvaged+rep.Stolen+rep.Stragglers+rep.Retired != 0 {
+		t.Errorf("fault counters nonzero on a healthy run: %+v", rep)
+	}
+}
+
+// TestFleetSurvivesKilledExecutor: an executor whose first two attempts
+// die mid-stream costs nothing — the salvaged prefixes are kept, the
+// residuals re-run, output stays byte-identical.
+func TestFleetSurvivesKilledExecutor(t *testing.T) {
+	sp, spec := testSpace(t)
+	want := wantRender(t, sp)
+	killer := &faultinject.KillAfterRows{Exec: engineExec("flaky"), Rows: 4, Times: 2}
+	m := obs.New()
+	d, err := fleet.New(fleet.Config{Tasks: 2, Obs: m}, killer, engineExec("steady"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rep, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, want, rs)
+	if killer.Killed() != 2 {
+		t.Errorf("killed %d attempts, want 2", killer.Killed())
+	}
+	if rep.Salvaged == 0 {
+		t.Errorf("no salvaged attempts counted: %+v", rep)
+	}
+	if n := m.Snapshot().Stages["fleet/salvage"].Count; int(n) != rep.Salvaged {
+		t.Errorf("obs salvage count %d != report %d", n, rep.Salvaged)
+	}
+}
+
+// TestFleetWorkStealing: a dead executor's tasks migrate to the healthy
+// one, the dead one retires, and the sweep still completes identically.
+func TestFleetWorkStealing(t *testing.T) {
+	sp, spec := testSpace(t)
+	want := wantRender(t, sp)
+	d, err := fleet.New(fleet.Config{Tasks: 2, MaxExecFails: 2, Backoff: time.Millisecond},
+		&brokenExec{label: "dead"}, engineExec("alive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rep, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, want, rs)
+	if rep.Stolen == 0 {
+		t.Errorf("no steals recorded: %+v", rep)
+	}
+	if rep.Retired != 1 {
+		t.Errorf("retired = %d, want 1: %+v", rep.Retired, rep)
+	}
+}
+
+// TestFleetStragglerKilled: an executor that hangs without producing rows
+// is cancelled by the watchdog and its work completes elsewhere.
+func TestFleetStragglerKilled(t *testing.T) {
+	sp, spec := testSpace(t)
+	want := wantRender(t, sp)
+	d, err := fleet.New(fleet.Config{
+		Tasks: 2, StallFloor: 300 * time.Millisecond, StallFactor: 1,
+		MaxExecFails: 1, Backoff: time.Millisecond,
+	}, &hangExec{label: "stuck"}, engineExec("alive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rep, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, want, rs)
+	if rep.Stragglers == 0 {
+		t.Errorf("no stragglers recorded: %+v", rep)
+	}
+}
+
+// TestFleetResume: a run that dies with work remaining leaves a
+// checkpoint directory a second run completes from, without re-running
+// the covered points and with byte-identical output.
+func TestFleetResume(t *testing.T) {
+	sp, spec := testSpace(t)
+	want := wantRender(t, sp)
+	dir := t.TempDir()
+
+	// Phase 1: a killer executor and a budget too small to finish.
+	killer := &faultinject.KillAfterRows{Exec: engineExec("flaky"), Rows: 5}
+	d1, err := fleet.New(fleet.Config{Dir: dir, Tasks: 1, AttemptBudget: 2, Backoff: time.Millisecond}, killer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d1.Run(context.Background(), spec); err == nil {
+		t.Fatal("budget-starved run succeeded; test needs it to fail")
+	}
+
+	// Phase 2: a healthy fleet over the same directory resumes.
+	d2, err := fleet.New(fleet.Config{Dir: dir, Tasks: 2}, engineExec("a"), engineExec("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rep, err := d2.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, want, rs)
+	if rep.ResumedRows == 0 {
+		t.Errorf("nothing resumed from checkpoints: %+v", rep)
+	}
+}
+
+// TestFleetResumeSkipsForeignAndGarbageFiles: alien files in the state
+// directory — another exploration's shard, plain garbage, a truncated
+// own-file — cannot poison a resume.
+func TestFleetResumeSkipsForeignAndGarbageFiles(t *testing.T) {
+	sp, spec := testSpace(t)
+	want := wantRender(t, sp)
+	dir := t.TempDir()
+
+	// A foreign (different space) but well-formed task file.
+	otherSp, err := dse.BuildSpace("fir", "CPA-RA", "64", "XCV1000", "1", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foreign bytes.Buffer
+	pts := []int{0}
+	if _, err := (dse.Engine{}).ExploreSubsetStream(context.Background(), otherSp, pts, shard.NewTaskWriter(&foreign, pts)); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"t0-foreign.jsonl": foreign.Bytes(),
+		"t0-garbage.jsonl": []byte("not a shard file at all\n"),
+		"t0-torn.jsonl":    foreign.Bytes()[:10],
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d, err := fleet.New(fleet.Config{Dir: dir}, engineExec("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rep, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, want, rs)
+	if rep.ResumedRows != 0 {
+		t.Errorf("foreign rows resumed into this exploration: %+v", rep)
+	}
+}
+
+// TestFleetManifestMismatch: a state directory belongs to one
+// exploration; pointing a different space at it is an error, not a merge.
+func TestFleetManifestMismatch(t *testing.T) {
+	_, spec := testSpace(t)
+	dir := t.TempDir()
+	d, err := fleet.New(fleet.Config{Dir: dir}, engineExec("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	otherSp, err := dse.BuildSpace("fir", "CPA-RA", "64", "XCV1000", "1", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Run(context.Background(), dse.Spec(otherSp)); err == nil || !strings.Contains(err.Error(), "belongs to exploration") {
+		t.Fatalf("foreign state dir accepted: %v", err)
+	}
+}
+
+// TestFleetAllExecutorsRetired: a fleet of only dead hosts fails with a
+// diagnosable error instead of hanging.
+func TestFleetAllExecutorsRetired(t *testing.T) {
+	_, spec := testSpace(t)
+	d, err := fleet.New(fleet.Config{MaxExecFails: 2, Backoff: time.Millisecond},
+		&brokenExec{label: "dead1"}, &brokenExec{label: "dead2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := d.Run(context.Background(), spec)
+	if err == nil {
+		t.Fatal("all-dead fleet succeeded")
+	}
+	if !strings.Contains(err.Error(), "retired") && !strings.Contains(err.Error(), "budget") {
+		t.Errorf("unhelpful failure: %v", err)
+	}
+	if rep.Retired == 0 && !strings.Contains(err.Error(), "budget") {
+		t.Errorf("no retirements recorded: %+v", rep)
+	}
+}
+
+// TestFleetHTTPExecutor: a real `dse serve` endpoint (over httptest) as
+// an executor, alongside a local engine — the multi-host shape.
+func TestFleetHTTPExecutor(t *testing.T) {
+	sp, spec := testSpace(t)
+	want := wantRender(t, sp)
+	cache := simcache.New()
+	metrics := obs.New()
+	cache.SetObs(metrics)
+	srv, err := serve.New(cache, metrics, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	d, err := fleet.New(fleet.Config{Tasks: 3},
+		&fleet.HTTPExecutor{Label: "remote", Base: ts.URL},
+		engineExec("local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, want, rs)
+}
+
+// TestFleetHTTPExecutorSurvivesCutsAndSheds: the remote endpoint sheds
+// and cuts streams mid-body (seeded); salvage and retry still converge to
+// byte-identical output.
+func TestFleetHTTPExecutorSurvivesCutsAndSheds(t *testing.T) {
+	sp, spec := testSpace(t)
+	want := wantRender(t, sp)
+	cache := simcache.New()
+	metrics := obs.New()
+	cache.SetObs(metrics)
+	srv, err := serve.New(cache, metrics, serve.Config{RetryAfter: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	proxy := httptest.NewServer(&faultinject.Proxy{
+		Target: ts.URL,
+		T: &faultinject.Transport{
+			S:        faultinject.NewSchedule(42),
+			ShedRate: 0.3, RetryAfterSecs: 0, CutRate: 0.4, CutAfter: 400,
+		},
+	})
+	defer proxy.Close()
+
+	d, err := fleet.New(fleet.Config{
+		Tasks: 4, Backoff: time.Millisecond, AttemptBudget: 64,
+		MaxExecFails: 8,
+	},
+		&fleet.HTTPExecutor{Label: "remote", Base: proxy.URL, MaxShedWait: 10 * time.Millisecond},
+		engineExec("local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rep, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("fleet did not survive seeded faults: %v (report %+v)", err, rep)
+	}
+	assertIdentical(t, want, rs)
+}
+
+// TestFleetChaosStock192 is the seeded chaos property test over the
+// stock 192-point space: killed attempts, a dead host, and a flaky
+// remote — the fleet must still produce output byte-identical to the
+// single-process run in every format.
+func TestFleetChaosStock192(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stock space chaos sweep in -short mode")
+	}
+	sp := dse.DefaultSpace()
+	spec := dse.Spec(sp)
+	want := wantRender(t, sp)
+
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sched := faultinject.NewSchedule(seed)
+			killer := &faultinject.KillAfterRows{
+				Exec:  engineExec("flaky"),
+				Rows:  10 + sched.Intn(40),
+				Times: 2 + sched.Intn(2),
+			}
+			d, err := fleet.New(fleet.Config{
+				Tasks: 4, Backoff: time.Millisecond,
+				MaxExecFails: 4, AttemptBudget: 64,
+			}, killer, &brokenExec{label: "dead"}, engineExec("steady"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, rep, err := d.Run(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("seed %d: %v (report %+v)", seed, err, rep)
+			}
+			assertIdentical(t, want, rs)
+			if rep.Salvaged == 0 || rep.Stolen == 0 {
+				t.Errorf("seed %d: chaos produced no recovery work: %+v", seed, rep)
+			}
+		})
+	}
+}

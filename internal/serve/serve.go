@@ -4,6 +4,8 @@
 // from memoized fragments instead of recomputation.
 //
 //	POST /v1/explore?format=ndjson|table|csv|json   run a dse.SpaceSpec
+//	     &shard=i/n                                 strided slice (ndjson only)
+//	     &points=3,17,42                            explicit points (ndjson only)
 //	GET  /v1/metrics                                live repro-dse-metrics doc
 //	GET  /healthz                                   readiness (503 when draining)
 //	GET/PUT /v1/blob/<kind>/<key>                   simcache blob protocol
@@ -16,14 +18,21 @@
 // request's cache and obs snapshots — streamed as rows complete, so a
 // client can reassemble it with `dse merge` (or internal/shard.Merge) into
 // output byte-identical to a local run. The buffered table, csv and json
-// formats return the CLI's exact bytes directly.
+// formats return the CLI's exact bytes directly. With shard=i/n the
+// response is the shard-i-of-n slice of the space (the same bytes `dse
+// -shard i/n -out` writes); with points= it is an explicit-point task file
+// (header carries the owned list) — both ndjson-only, and together they
+// let a fleet driver treat remote servers as executors.
 //
 // Requests are admission-controlled: at most MaxInflight sweeps run
 // concurrently, at most MaxQueue wait (bounded by the per-request
 // deadline), and everything beyond that is rejected with 503 — an
-// overloaded estimator sheds load instead of stacking unbounded work.
-// SetDraining flips readiness for graceful shutdown: /healthz and new
-// explores return 503 while in-flight sweeps finish.
+// overloaded estimator sheds load instead of stacking unbounded work. Shed
+// responses carry a Retry-After hint (integer seconds) so well-behaved
+// clients — the fleet driver, the simcache Remote tier — come back when
+// capacity is likely, instead of guessing with blind backoff. SetDraining
+// flips readiness for graceful shutdown: /healthz and new explores return
+// 503 while in-flight sweeps finish.
 //
 // Observability is split by scope: engine stages of one request land in a
 // request-scoped registry (its snapshot rides the response trailer), while
@@ -45,6 +54,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +87,10 @@ type Config struct {
 	// none). Cancellation is acknowledged at row granularity: the stream
 	// stops at the next point emission.
 	Timeout time.Duration
+	// RetryAfter is the hint sent with every 503 shed, telling clients
+	// when to come back (rounded up to whole seconds on the wire; ≤0 =
+	// 1s). Roughly the expected drain time of one queued sweep.
+	RetryAfter time.Duration
 	// Log, when non-nil, receives one line per completed request.
 	Log io.Writer
 }
@@ -119,6 +133,9 @@ func New(cache *simcache.Cache, metrics *obs.Metrics, cfg Config) (*Server, erro
 	}
 	if cfg.MaxQueue < 0 {
 		cfg.MaxQueue = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
 	}
 	s := &Server{
 		cache:    cache,
@@ -204,11 +221,20 @@ func (s *Server) protect(h http.HandlerFunc) http.Handler {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		s.shed(w, "draining")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
+}
+
+// shed rejects one request with 503 and the configured Retry-After hint.
+// Every shed path goes through here so the hint is never forgotten — the
+// simcache Remote and the fleet's HTTP executor key their backoff on it.
+func (s *Server) shed(w http.ResponseWriter, msg string) {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, msg, http.StatusServiceUnavailable)
 }
 
 // admit acquires an in-flight slot, queueing (bounded) when the service is
@@ -245,10 +271,11 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		s.rejectT.Inc()
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		s.shed(w, "draining")
 		return
 	}
-	format := r.URL.Query().Get("format")
+	q := r.URL.Query()
+	format := q.Get("format")
 	if format == "" {
 		format = "ndjson"
 	}
@@ -258,6 +285,38 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		if render, err = dse.RendererFor(format); err != nil {
 			s.errorT.Inc()
 			http.Error(w, err.Error()+" or ndjson", http.StatusBadRequest)
+			return
+		}
+	}
+	// A slice request — strided shard or explicit point list — streams the
+	// portable shard encoding only: the buffered formats render a whole
+	// exploration, and a fleet reassembles slices with the shard tooling.
+	shardArg, pointsArg := q.Get("shard"), q.Get("points")
+	if (shardArg != "" || pointsArg != "") && format != "ndjson" {
+		s.errorT.Inc()
+		http.Error(w, "shard/points slices are ndjson-only (reassemble with dse merge / the fleet driver)", http.StatusBadRequest)
+		return
+	}
+	if shardArg != "" && pointsArg != "" {
+		s.errorT.Inc()
+		http.Error(w, "shard and points are mutually exclusive", http.StatusBadRequest)
+		return
+	}
+	plan := shard.Plan{Index: 0, Count: 1}
+	if shardArg != "" {
+		var err error
+		if plan, err = shard.ParsePlan(shardArg); err != nil {
+			s.errorT.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	var points []int
+	if pointsArg != "" {
+		var err error
+		if points, err = dse.ParseInts(pointsArg, 0); err != nil {
+			s.errorT.Inc()
+			http.Error(w, "bad points list: "+err.Error(), http.StatusBadRequest)
 			return
 		}
 	}
@@ -273,6 +332,22 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad space spec: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	if total := len(sp.Points()); points != nil {
+		// Validate here so a malformed list is the client's 400, not a 500
+		// from the engine after the request burned an admission slot.
+		for i, g := range points {
+			if g >= total {
+				s.errorT.Inc()
+				http.Error(w, fmt.Sprintf("point index %d out of range [0,%d)", g, total), http.StatusBadRequest)
+				return
+			}
+			if i > 0 && g <= points[i-1] {
+				s.errorT.Inc()
+				http.Error(w, "point indices must be strictly increasing", http.StatusBadRequest)
+				return
+			}
+		}
+	}
 
 	ctx := r.Context()
 	if s.cfg.Timeout > 0 {
@@ -283,11 +358,11 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	release, err := s.admit(ctx)
 	if err != nil {
 		s.rejectT.Inc()
-		code := http.StatusServiceUnavailable
 		if errors.Is(err, context.DeadlineExceeded) {
-			code = http.StatusGatewayTimeout
+			http.Error(w, "estimation service busy: "+err.Error(), http.StatusGatewayTimeout)
+			return
 		}
-		http.Error(w, "estimation service busy: "+err.Error(), code)
+		s.shed(w, "estimation service busy: "+err.Error())
 		return
 	}
 	defer release()
@@ -300,13 +375,18 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	tm := s.requestT.Start()
 	start := time.Now()
 	var st dse.StreamStats
-	if format == "ndjson" {
+	switch {
+	case points != nil:
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		fw := newFlushWriter(w, ctx)
-		st, err = engine.ExploreStream(sp, &ctxReporter{ctx: ctx, sr: shard.NewWriter(fw, shard.Plan{Index: 0, Count: 1})})
-	} else {
+		st, err = engine.ExploreSubsetStream(ctx, sp, points, &ctxReporter{ctx: ctx, sr: shard.NewTaskWriter(fw, points)})
+	case format == "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fw := newFlushWriter(w, ctx)
+		st, err = engine.ExploreShardStreamCtx(ctx, sp, plan.Index, plan.Count, &ctxReporter{ctx: ctx, sr: shard.NewWriter(fw, plan)})
+	default:
 		var buf bytes.Buffer
-		st, err = engine.ExploreStream(sp, &ctxReporter{ctx: ctx, sr: dse.InstrumentReporter(render.Stream(&buf), reqObs, format)})
+		st, err = engine.ExploreStreamCtx(ctx, sp, &ctxReporter{ctx: ctx, sr: dse.InstrumentReporter(render.Stream(&buf), reqObs, format)})
 		if err == nil {
 			w.Header().Set("Content-Type", contentType(format))
 			_, err = w.Write(buf.Bytes())

@@ -3,8 +3,10 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -393,5 +395,133 @@ func TestMemoryOnlyServerHasNoBlobEndpoint(t *testing.T) {
 	}
 	if readBody(t, resp); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// postSlice POSTs a spec with extra query parameters (shard=, points=).
+func postSlice(t *testing.T, url string, spec dse.SpaceSpec, query string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/explore?"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestShedCarriesRetryAfter: every 503 shed — queue-full and draining —
+// carries the configured Retry-After hint, rounded up to whole seconds.
+func TestShedCarriesRetryAfter(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 0, RetryAfter: 1500 * time.Millisecond})
+	s.sem <- struct{}{}
+	resp := postSpec(t, ts.URL, smallSpec(t), "csv")
+	if readBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("busy Retry-After = %q, want \"2\" (1.5s rounded up)", got)
+	}
+	<-s.sem
+
+	s.SetDraining(true)
+	resp = postSpec(t, ts.URL, smallSpec(t), "csv")
+	if readBody(t, resp); resp.Header.Get("Retry-After") != "2" {
+		t.Errorf("draining explore shed lacks Retry-After hint")
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.Header.Get("Retry-After") != "2" {
+		t.Errorf("draining healthz lacks Retry-After hint")
+	}
+}
+
+// TestServedShardSlice: shard=i/n slices from the service merge back into
+// an exploration whose rendered output is byte-identical to a local run —
+// the property that lets a fleet driver use remote servers as executors.
+func TestServedShardSlice(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	spec := smallSpec(t)
+	sp, err := spec.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []*bytes.Reader
+	for i := 0; i < 2; i++ {
+		resp := postSlice(t, ts.URL, spec, fmt.Sprintf("shard=%d/2", i))
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		s, err := shard.Salvage(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if !s.Complete {
+			t.Fatalf("served shard %d incomplete", i)
+		}
+		parts = append(parts, bytes.NewReader(body))
+	}
+	merged, err := shard.Merge(parts[0], parts[1])
+	if err != nil {
+		t.Fatalf("merge of served shards: %v", err)
+	}
+	rs, err := dse.Engine{}.Explore(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render, _ := dse.RendererFor("table")
+	var want, got bytes.Buffer
+	if err := render.Report(&want, rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := render.Report(&got, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("merged served shards render differently from a local run")
+	}
+}
+
+// TestServedPointsSlice: points= returns a task file salvage recognizes as
+// complete, carrying exactly the requested rows.
+func TestServedPointsSlice(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp := postSlice(t, ts.URL, smallSpec(t), "points=0,1,3")
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	s, err := shard.Salvage(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Complete || s.Rows() != 3 || len(s.Residual) != 0 {
+		t.Fatalf("task salvage: complete=%v rows=%d residual=%v", s.Complete, s.Rows(), s.Residual)
+	}
+	if want := []int{0, 1, 3}; !slices.Equal(s.Owned, want) {
+		t.Fatalf("owned %v, want %v", s.Owned, want)
+	}
+}
+
+// TestSliceValidation: malformed or misdirected slice requests are 400s.
+func TestSliceValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	for name, query := range map[string]string{
+		"slice with buffered format": "shard=0/2&format=csv",
+		"both shard and points":      "shard=0/2&points=1",
+		"bad shard":                  "shard=2/2",
+		"bad points":                 "points=1,zonk",
+		"out-of-range points":        "points=999999",
+		"unsorted points":            "points=3,1",
+	} {
+		resp := postSlice(t, ts.URL, smallSpec(t), query)
+		if body := readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, resp.StatusCode, body)
+		}
 	}
 }

@@ -1,0 +1,324 @@
+package shard
+
+// Point-granular recovery for fleet sweeps. A shard or task file whose
+// writer crashed, was killed as a straggler, or lost its connection
+// mid-stream is truncated: header, some valid prefix of rows, no trailer
+// (or a torn final line). Strict decode/Merge reject such files outright;
+// Salvage instead recovers every validated row of the prefix and reports
+// the residual owned point-set, so a fleet driver re-partitions only the
+// missing points across healthy executors instead of re-running the whole
+// shard. The Assembler then reassembles complete and salvaged pieces —
+// whatever mix of strided shard files and explicit-point task files the
+// recovery produced — into a ResultSet byte-identical (through every
+// reporter) to the single-process run, enforcing the same invariants as
+// Merge: one fingerprint, every point exactly once, every row owned by
+// the file that carried it.
+//
+// Static invariants enforced by reprovet (DESIGN.md §10) hold here too:
+//
+//repro:deterministic-output
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dse"
+	"repro/internal/obs"
+	"repro/internal/simcache"
+)
+
+// Salvaged is the recovered content of one shard or task file: the valid
+// row prefix, the writer's owned point-set, and the residual points no
+// recovered row covers. A file with a consistent trailer salvages
+// completely (Complete true, Residual empty, stats populated).
+type Salvaged struct {
+	// Spec and Fingerprint identify the exploration the file belongs to.
+	Spec        dse.SpaceSpec
+	Fingerprint string
+	// SpacePoints is the global space size the header declared.
+	SpacePoints int
+	// Owned is the set of global point indices the file's writer was
+	// responsible for, increasing: the explicit header list for task
+	// files, the strided expansion for shard files.
+	Owned []int
+	// Residual is Owned minus the recovered rows' indices, increasing —
+	// the points a fleet driver must re-run elsewhere. Empty iff every
+	// owned point has a recovered row.
+	Residual []int
+	// Complete reports a consistent trailer: the file is a finished run,
+	// not a salvaged fragment, and UniqueSims/Cache/Obs carry its stats.
+	Complete   bool
+	UniqueSims int
+	Cache      simcache.Snapshot
+	Obs        obs.Snapshot
+
+	rows []line
+}
+
+// Rows returns how many rows were recovered.
+func (s *Salvaged) Rows() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rows)
+}
+
+// Salvage reads as much of a shard or task file as validates: the header
+// (which must be intact — a file without one carries nothing attributable
+// to an exploration and is an error), then rows up to the first
+// truncation, torn line, or ownership violation, then the trailer if one
+// follows consistently. Unlike decode it never fails on missing rows or a
+// missing trailer: those become Residual. Complete files salvage in full,
+// so Salvage(complete file) and Merge agree.
+func Salvage(r io.Reader) (*Salvaged, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("shard: salvage: bad or missing header: %w", err)
+	}
+	if h.Format != formatName {
+		return nil, fmt.Errorf("shard: salvage: not a shard file (format %q, want %q)", h.Format, formatName)
+	}
+	if h.Version != formatVersion {
+		return nil, fmt.Errorf("shard: salvage: unsupported encoding version %d (want %d)", h.Version, formatVersion)
+	}
+	if err := h.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	if h.Points < 0 {
+		return nil, fmt.Errorf("shard: salvage: negative point count %d", h.Points)
+	}
+	s := &Salvaged{
+		Spec:        h.Space,
+		Fingerprint: h.Fingerprint,
+		SpacePoints: h.Points,
+	}
+	if h.Owned != nil {
+		for i, g := range h.Owned {
+			if g < 0 || g >= h.Points {
+				return nil, fmt.Errorf("shard: salvage: owned index %d out of range [0,%d)", g, h.Points)
+			}
+			if i > 0 && g <= h.Owned[i-1] {
+				return nil, fmt.Errorf("shard: salvage: owned indices not strictly increasing (%d after %d)", g, h.Owned[i-1])
+			}
+		}
+		s.Owned = h.Owned
+	} else {
+		s.Owned = make([]int, 0, h.Shard.Size(h.Points))
+		for g := h.Shard.Index; g < h.Points; g += h.Shard.Count {
+			s.Owned = append(s.Owned, g)
+		}
+	}
+
+	// The writer emits rows in increasing owned order, so the valid prefix
+	// is exactly the rows matching s.Owned positionally: recovery stops at
+	// the first line that fails to decode (torn tail), claims a point out
+	// of sequence (foreign or corrupt content), or repeats.
+	next := 0 // position in Owned of the next expected row
+	for {
+		var ln line
+		if err := dec.Decode(&ln); err != nil {
+			break // io.EOF or a torn line: the prefix ends here
+		}
+		if ln.EOF {
+			if ln.Rows == len(s.rows) && next == len(s.Owned) {
+				s.Complete = true
+				s.UniqueSims = ln.UniqueSims
+				if ln.Cache != nil {
+					s.Cache = *ln.Cache
+				}
+				if ln.Obs != nil {
+					s.Obs = *ln.Obs
+				}
+			}
+			break // consistent or not, nothing after the trailer is a row
+		}
+		if ln.Index == nil || (ln.Design == nil) == (ln.Error == "") {
+			break // malformed row: treat as the truncation point
+		}
+		if next >= len(s.Owned) || *ln.Index != s.Owned[next] {
+			break // out-of-sequence row: foreign or corrupt beyond here
+		}
+		s.rows = append(s.rows, ln)
+		next++
+	}
+	s.Residual = s.Owned[next:]
+	return s, nil
+}
+
+// SalvageFile is Salvage over a file on disk.
+func SalvageFile(path string) (*Salvaged, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Salvage(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Assembler reassembles one exploration from any mix of complete and
+// salvaged pieces, in any order, across however many recovery rounds the
+// fleet needed. It enforces the Merge invariants row-by-row as pieces
+// arrive — one space fingerprint, rows only for owned points, every point
+// at most once — and additionally cross-checks duplicate rows for
+// byte-equality, so a buggy double-assignment (or a non-deterministic
+// executor) surfaces as an error instead of silent last-writer-wins.
+type Assembler struct {
+	spec   dse.SpaceSpec
+	fp     string
+	sp     dse.Space
+	pts    []dse.Point
+	rows   []line
+	filled []bool
+	left   int
+
+	sims  int
+	cache simcache.Snapshot
+	obs   obs.Snapshot
+	dups  int
+}
+
+// NewAssembler builds an empty Assembler for the exploration the spec
+// describes.
+func NewAssembler(spec dse.SpaceSpec) (*Assembler, error) {
+	sp, err := spec.Space()
+	if err != nil {
+		return nil, err
+	}
+	pts := sp.Points()
+	return &Assembler{
+		spec:   spec,
+		fp:     spec.Fingerprint(),
+		sp:     sp,
+		pts:    pts,
+		rows:   make([]line, len(pts)),
+		filled: make([]bool, len(pts)),
+		left:   len(pts),
+	}, nil
+}
+
+// Points returns the global space size.
+func (a *Assembler) Points() int { return len(a.pts) }
+
+// Remaining returns how many points still have no row.
+func (a *Assembler) Remaining() int { return a.left }
+
+// Complete reports whether every point has a row.
+func (a *Assembler) Complete() bool { return a.left == 0 }
+
+// Duplicates returns how many equal re-deliveries of already-covered rows
+// were absorbed (each verified byte-equal, never overwritten).
+func (a *Assembler) Duplicates() int { return a.dups }
+
+// Missing returns the global indices still uncovered, increasing — what a
+// resumed fleet run must still evaluate.
+func (a *Assembler) Missing() []int {
+	var m []int
+	for g, ok := range a.filled {
+		if !ok {
+			m = append(m, g)
+		}
+	}
+	return m
+}
+
+// ErrForeign marks a piece that belongs to a different exploration
+// (fingerprint or space-size mismatch). A fleet resuming from a state
+// directory skips such files (errors.Is) instead of failing the run —
+// someone else's shard landing in the directory must not poison it.
+var ErrForeign = errors.New("piece of a different exploration")
+
+// MissingOf returns the subset of pts (strictly increasing global
+// indices) still uncovered — the residual a fleet driver must requeue
+// after absorbing an attempt. Out-of-range values are ignored.
+func (a *Assembler) MissingOf(pts []int) []int {
+	var m []int
+	for _, g := range pts {
+		if g >= 0 && g < len(a.filled) && !a.filled[g] {
+			m = append(m, g)
+		}
+	}
+	return m
+}
+
+// Absorb folds one salvaged piece in, returning how many previously
+// missing points it covered. A piece from a different exploration
+// (fingerprint or space size mismatch) is rejected with ErrForeign, as is
+// a duplicate row whose content disagrees with what is already held —
+// determinism makes re-evaluated points byte-equal, so disagreement means
+// corruption or a foreign file that happened to share a fingerprint.
+func (a *Assembler) Absorb(s *Salvaged) (added int, err error) {
+	if s == nil {
+		return 0, fmt.Errorf("shard: absorb nil salvage")
+	}
+	if s.Fingerprint != a.fp {
+		return 0, fmt.Errorf("shard: space fingerprint mismatch: %s vs %s: %w", s.Fingerprint, a.fp, ErrForeign)
+	}
+	if s.SpacePoints != len(a.pts) {
+		return 0, fmt.Errorf("shard: piece declares %d points, space has %d: %w", s.SpacePoints, len(a.pts), ErrForeign)
+	}
+	for _, ln := range s.rows {
+		g := *ln.Index
+		if g < 0 || g >= len(a.pts) {
+			return added, fmt.Errorf("shard: row for point %d out of range [0,%d)", g, len(a.pts))
+		}
+		if a.filled[g] {
+			if !sameRow(a.rows[g], ln) {
+				return added, fmt.Errorf("shard: point %d re-delivered with different content (determinism violation or foreign row)", g)
+			}
+			a.dups++
+			continue
+		}
+		a.rows[g] = ln
+		a.filled[g] = true
+		a.left--
+		added++
+	}
+	if s.Complete {
+		a.sims += s.UniqueSims
+		a.cache = a.cache.Add(s.Cache)
+		a.obs = a.obs.Add(s.Obs)
+	}
+	return added, nil
+}
+
+// sameRow reports whether two recovered rows agree on their result
+// content (index, metrics, error).
+func sameRow(a, b line) bool {
+	if *a.Index != *b.Index || a.Error != b.Error {
+		return false
+	}
+	if (a.Design == nil) != (b.Design == nil) {
+		return false
+	}
+	return a.Design == nil || *a.Design == *b.Design
+}
+
+// ResultSet returns the reassembled exploration; every point must be
+// covered. UniqueSims/Cache/Obs are summed over the complete pieces only
+// — a salvaged fragment's trailer never made it to disk, so its stats are
+// lost with the executor that held them (the row data, which determines
+// report bytes, is what salvage preserves).
+func (a *Assembler) ResultSet() (*dse.ResultSet, error) {
+	if a.left != 0 {
+		miss := a.Missing()
+		show := miss
+		if len(show) > 8 {
+			show = show[:8]
+		}
+		return nil, fmt.Errorf("shard: %d of %d points still uncovered (first missing: %v)", a.left, len(a.pts), show)
+	}
+	results := make([]dse.Result, len(a.pts))
+	for g := range a.pts {
+		results[g] = rowResult(a.pts[g], a.rows[g])
+	}
+	return &dse.ResultSet{Space: a.sp, Results: results, UniqueSims: a.sims, Cache: a.cache, Obs: a.obs}, nil
+}

@@ -106,6 +106,13 @@ type header struct {
 	Points      int           `json:"points"` // global space size
 	Rows        int           `json:"rows"`   // points this shard owns
 	Space       dse.SpaceSpec `json:"space"`
+	// Owned, when present, replaces the strided ownership rule with an
+	// explicit global-index list: the file is a fleet task file carrying a
+	// residual point-set (salvage.go), not one shard of a uniform
+	// partition. Absent on ordinary shard files, so their encoding — and
+	// the byte-identity of everything downstream — is unchanged. Strict
+	// Merge rejects task files; the fleet Assembler accepts both.
+	Owned []int `json:"owned,omitempty"`
 }
 
 // metrics is the portable subset of hls.Design: exactly what the
@@ -152,16 +159,28 @@ type line struct {
 // implements dse.StreamReporter, so it plugs directly into
 // Engine.ExploreShardStream and holds no per-point state.
 type Writer struct {
-	w    *bufio.Writer
-	enc  *json.Encoder
-	plan Plan
-	rows int
+	w     *bufio.Writer
+	enc   *json.Encoder
+	plan  Plan
+	owned []int // explicit task ownership; nil for strided shards
+	rows  int
 }
 
 // NewWriter returns a Writer for one shard of the partition.
 func NewWriter(w io.Writer, p Plan) *Writer {
 	bw := bufio.NewWriter(w)
 	return &Writer{w: bw, enc: json.NewEncoder(bw), plan: p}
+}
+
+// NewTaskWriter returns a Writer for a fleet task file: the same row and
+// trailer encoding as a shard file, but the header carries the explicit
+// owned point-index list instead of a strided partition rule. Task files
+// are produced by `dse -points` and the serve ?points= form, salvaged
+// like shard files, and reassembled by the fleet Assembler; strict Merge
+// rejects them.
+func NewTaskWriter(w io.Writer, owned []int) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw), plan: Plan{Index: 0, Count: 1}, owned: owned}
 }
 
 // Begin implements dse.StreamReporter: it writes the header line.
@@ -175,6 +194,7 @@ func (sw *Writer) Begin(sp dse.Space, total int) error {
 		Points:      sp.Size(),
 		Rows:        total,
 		Space:       spec,
+		Owned:       sw.owned,
 	})
 }
 
@@ -262,6 +282,9 @@ func decode(r io.Reader) (*shardFile, error) {
 	}
 	if err := f.h.Shard.Validate(); err != nil {
 		return nil, err
+	}
+	if f.h.Owned != nil {
+		return nil, fmt.Errorf("shard: fleet task file (explicit owned point list); merge cannot reassemble tasks — use the fleet driver")
 	}
 	sawTrailer := false
 	for {
@@ -383,29 +406,7 @@ func merge(readers []io.Reader, names []string) (*dse.ResultSet, error) {
 				return nil, fmt.Errorf("shard: duplicate row for point %d", g)
 			}
 			filled[g] = true
-			r := dse.Result{Point: pts[g]}
-			if ln.Design != nil {
-				m := ln.Design
-				algo := pts[g].Allocator.Name()
-				if m.Algorithm != "" {
-					algo = m.Algorithm // portfolio winner
-				}
-				r.Design = &hls.Design{
-					Kernel:    pts[g].Kernel.Name,
-					Algorithm: algo,
-					Registers: m.Registers,
-					Cycles:    m.Cycles,
-					MemCycles: m.MemCycles,
-					ClockNs:   m.ClockNs,
-					TimeUs:    m.TimeUs,
-					Slices:    m.Slices,
-					SliceUtil: m.SliceUtil,
-					RAMs:      m.RAMs,
-				}
-			} else {
-				r.Err = errors.New(ln.Error)
-			}
-			results[g] = r
+			results[g] = rowResult(pts[g], ln)
 		}
 		sims += f.sims
 		cache = cache.Add(f.cache)
@@ -417,6 +418,34 @@ func merge(readers []io.Reader, names []string) (*dse.ResultSet, error) {
 		}
 	}
 	return &dse.ResultSet{Space: sp, Results: results, UniqueSims: sims, Cache: cache, Obs: osnap}, nil
+}
+
+// rowResult decodes one row back into the Result for its global point —
+// the inverse of Writer.Point, shared by Merge and the fleet Assembler.
+func rowResult(p dse.Point, ln line) dse.Result {
+	r := dse.Result{Point: p}
+	if ln.Design != nil {
+		m := ln.Design
+		algo := p.Allocator.Name()
+		if m.Algorithm != "" {
+			algo = m.Algorithm // portfolio winner
+		}
+		r.Design = &hls.Design{
+			Kernel:    p.Kernel.Name,
+			Algorithm: algo,
+			Registers: m.Registers,
+			Cycles:    m.Cycles,
+			MemCycles: m.MemCycles,
+			ClockNs:   m.ClockNs,
+			TimeUs:    m.TimeUs,
+			Slices:    m.Slices,
+			SliceUtil: m.SliceUtil,
+			RAMs:      m.RAMs,
+		}
+	} else {
+		r.Err = errors.New(ln.Error)
+	}
+	return r
 }
 
 // MergeFiles is Merge over files on disk.

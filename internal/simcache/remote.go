@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -45,31 +46,90 @@ const (
 // a Cache (memory → disk → remote), attached with SetRemote. Transient
 // failures (network errors, 5xx) are retried with doubling backoff and
 // then treated as misses — like the disk tier, the remote store is an
-// accelerator, never a correctness dependency.
+// accelerator, never a correctness dependency. A 503 carrying Retry-After
+// — the load-shedding signal `dse serve` emits — is honored: the next
+// retry waits the server's hint (capped by MaxShedWait) instead of the
+// blind doubling schedule, and is counted on the shed-retry obs stage.
 type Remote struct {
 	base string
 	// Client issues the requests; NewRemote installs one with a bounded
-	// per-attempt timeout. Replace before concurrent use.
+	// per-attempt timeout. Replace before concurrent use — the Transport
+	// of this client is also the fault-injection seam the chaos harness
+	// (internal/fleet/faultinject) plugs into.
 	Client *http.Client
 	// Retries is how many times a transient failure is retried beyond the
 	// first attempt; Backoff is the first retry's delay, doubling per retry.
 	Retries int
 	Backoff time.Duration
+	// MaxShedWait caps how long a server-sent Retry-After hint is honored
+	// for; longer hints (or unparsable ones) fall back to the doubling
+	// backoff. ≤0 uses 2s.
+	MaxShedWait time.Duration
+
+	shedRetryT *obs.StageStats
 }
 
 // NewRemote returns a client for the blob server at base (e.g.
 // "http://cachehost:8080"), with default timeout, retry and backoff.
 func NewRemote(base string) *Remote {
 	return &Remote{
-		base:    strings.TrimRight(base, "/"),
-		Client:  &http.Client{Timeout: 5 * time.Second},
-		Retries: 2,
-		Backoff: 50 * time.Millisecond,
+		base:        strings.TrimRight(base, "/"),
+		Client:      &http.Client{Timeout: 5 * time.Second},
+		Retries:     2,
+		Backoff:     50 * time.Millisecond,
+		MaxShedWait: 2 * time.Second,
 	}
+}
+
+// SetObs mirrors shed-then-retried requests into the
+// "cache/remote/shed-retry" counter. Called by Cache.SetObs/SetRemote on
+// an attached tier; call directly when using a Remote standalone. Safe on
+// a nil registry; call before concurrent use.
+func (r *Remote) SetObs(m *obs.Metrics) {
+	if r == nil {
+		return
+	}
+	r.shedRetryT = m.Stage("cache/remote/shed-retry")
+}
+
+// retryAfter extracts the Retry-After delay of a shed response, clamped
+// to [0, MaxShedWait]. 0 means "no usable hint — use the backoff
+// schedule". Only the delta-seconds form is recognized: the HTTP-date
+// form buys nothing between fleet-internal services.
+func (r *Remote) retryAfter(resp *http.Response) time.Duration {
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	max := r.MaxShedWait
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if d := time.Duration(secs) * time.Second; d < max {
+		return d
+	}
+	return max
 }
 
 func (r *Remote) url(kind, hash string) string {
 	return r.base + blobPathPrefix + kind + "/" + hash
+}
+
+// sleepBeforeRetry waits before retry `attempt` (1-based): the server's
+// Retry-After hint when the previous response carried one, the doubling
+// backoff schedule otherwise. Honored hints are counted on the shed-retry
+// stage — a shed is the server protecting itself, and the count is how an
+// operator sees a remote cache running hot.
+func (r *Remote) sleepBeforeRetry(attempt int, hint time.Duration) {
+	if hint > 0 {
+		r.shedRetryT.Inc()
+		time.Sleep(hint)
+		return
+	}
+	time.Sleep(r.Backoff << (attempt - 1))
 }
 
 // get fetches one blob. A 404 is a definitive miss (false, nil error); a
@@ -77,10 +137,12 @@ func (r *Remote) url(kind, hash string) string {
 // the cache's lookup path also treats as a miss.
 func (r *Remote) get(kind, hash string) ([]byte, bool, error) {
 	var lastErr error
+	var hint time.Duration
 	for attempt := 0; attempt <= r.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(r.Backoff << (attempt - 1))
+			r.sleepBeforeRetry(attempt, hint)
 		}
+		hint = 0
 		resp, err := r.Client.Get(r.url(kind, hash))
 		if err != nil {
 			lastErr = err
@@ -93,6 +155,7 @@ func (r *Remote) get(kind, hash string) ([]byte, bool, error) {
 			return nil, false, nil
 		case resp.StatusCode >= 500:
 			lastErr = fmt.Errorf("simcache: remote get %s/%s: %s", kind, hash, resp.Status)
+			hint = r.retryAfter(resp)
 			continue
 		case resp.StatusCode != http.StatusOK:
 			// A 4xx other than 404 is a protocol disagreement; retrying the
@@ -115,10 +178,12 @@ func (r *Remote) get(kind, hash string) ([]byte, bool, error) {
 // lost PUT only costs a future recomputation).
 func (r *Remote) put(kind, hash string, data []byte) error {
 	var lastErr error
+	var hint time.Duration
 	for attempt := 0; attempt <= r.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(r.Backoff << (attempt - 1))
+			r.sleepBeforeRetry(attempt, hint)
 		}
+		hint = 0
 		req, err := http.NewRequest(http.MethodPut, r.url(kind, hash), strings.NewReader(string(data)))
 		if err != nil {
 			return err
@@ -133,6 +198,7 @@ func (r *Remote) put(kind, hash string, data []byte) error {
 		switch {
 		case resp.StatusCode >= 500:
 			lastErr = fmt.Errorf("simcache: remote put %s/%s: %s", kind, hash, resp.Status)
+			hint = r.retryAfter(resp)
 			continue
 		case resp.StatusCode >= 400:
 			return fmt.Errorf("simcache: remote put %s/%s: %s", kind, hash, resp.Status)

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // newBlobServer starts a blob server over a fresh directory-backed cache
@@ -265,5 +267,120 @@ func TestComputedValueIsPublishedToRemote(t *testing.T) {
 	sf, err := server.Fragment("k", func() (Fragment, error) { return Fragment{}, nil })
 	if err != nil || sf != (Fragment{Loads: 2, Stores: 7}) {
 		t.Fatalf("server-side lookup got %+v, %v", sf, err)
+	}
+}
+
+// TestRemoteHonorsRetryAfter: a 503 carrying Retry-After makes the next
+// retry wait the server's hint (not the doubling backoff) and counts on
+// the shed-retry stage.
+func TestRemoteHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write(encodeValue(7, 8))
+	}))
+	defer srv.Close()
+	r := testRemote(srv.URL)
+	r.Backoff = time.Hour // a blind-backoff sleep would hang the test
+	r.MaxShedWait = 20 * time.Millisecond
+	m := obs.New()
+	r.SetObs(m)
+
+	start := time.Now()
+	data, ok, err := r.get(kindFragment, hashKey("k"))
+	if err != nil || !ok {
+		t.Fatalf("get after shed: ok=%v err=%v", ok, err)
+	}
+	var a, b int
+	if !decodeValue(data, &a, &b) || a != 7 || b != 8 {
+		t.Fatalf("got %q", data)
+	}
+	if elapsed := time.Since(start); elapsed >= time.Hour/2 {
+		t.Fatalf("retry took %v: hint ignored in favor of blind backoff", elapsed)
+	}
+	if n := m.Snapshot().Stages["cache/remote/shed-retry"].Count; n != 1 {
+		t.Fatalf("shed-retry count = %d, want 1", n)
+	}
+}
+
+// TestRemotePutHonorsRetryAfter: the publish path honors the hint too.
+func TestRemotePutHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	r := testRemote(srv.URL)
+	r.Backoff = time.Hour
+	r.MaxShedWait = 20 * time.Millisecond
+	m := obs.New()
+	r.SetObs(m)
+
+	if err := r.put(kindFragment, hashKey("k"), encodeValue(1, 2)); err != nil {
+		t.Fatalf("put after shed: %v", err)
+	}
+	if n := m.Snapshot().Stages["cache/remote/shed-retry"].Count; n != 1 {
+		t.Fatalf("shed-retry count = %d, want 1", n)
+	}
+}
+
+// TestRetryAfterParsing pins the hint extraction: delta-seconds only,
+// clamped, garbage and non-503s ignored.
+func TestRetryAfterParsing(t *testing.T) {
+	r := NewRemote("http://x")
+	r.MaxShedWait = 2 * time.Second
+	resp := func(code int, hdr string) *http.Response {
+		h := http.Header{}
+		if hdr != "" {
+			h.Set("Retry-After", hdr)
+		}
+		return &http.Response{StatusCode: code, Header: h}
+	}
+	for _, tc := range []struct {
+		code int
+		hdr  string
+		want time.Duration
+	}{
+		{http.StatusServiceUnavailable, "1", time.Second},
+		{http.StatusServiceUnavailable, " 2 ", 2 * time.Second},
+		{http.StatusServiceUnavailable, "3600", 2 * time.Second}, // clamped
+		{http.StatusServiceUnavailable, "0", 0},
+		{http.StatusServiceUnavailable, "-5", 0},
+		{http.StatusServiceUnavailable, "soon", 0},
+		{http.StatusServiceUnavailable, "", 0},
+		{http.StatusInternalServerError, "1", 0}, // only 503 is a shed
+	} {
+		if got := r.retryAfter(resp(tc.code, tc.hdr)); got != tc.want {
+			t.Errorf("retryAfter(%d, %q) = %v, want %v", tc.code, tc.hdr, got, tc.want)
+		}
+	}
+}
+
+// TestSetObsSetRemoteEitherOrder: the remote tier's counters wire up
+// whether the registry or the tier is attached first.
+func TestSetObsSetRemoteEitherOrder(t *testing.T) {
+	for _, obsFirst := range []bool{true, false} {
+		c := New()
+		m := obs.New()
+		r := NewRemote("http://x")
+		if obsFirst {
+			c.SetObs(m)
+			c.SetRemote(r)
+		} else {
+			c.SetRemote(r)
+			c.SetObs(m)
+		}
+		if r.shedRetryT == nil {
+			t.Errorf("obsFirst=%v: remote shed-retry stage not wired", obsFirst)
+		}
 	}
 }

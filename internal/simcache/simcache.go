@@ -124,6 +124,7 @@ type Cache struct {
 
 	stats stats
 
+	obsReg              *obs.Metrics
 	fragT, classT       tiers
 	planHitT, planMissT *obs.StageStats
 }
@@ -155,22 +156,32 @@ func (c *Cache) Dir() string { return c.dir }
 // SetRemote attaches the network tier: keys missing from memory and disk
 // are fetched from the blob server before being recomputed, and computed
 // values are published back (best-effort). Call before concurrent use,
-// like SetObs.
-func (c *Cache) SetRemote(r *Remote) { c.remote = r }
+// like SetObs — in either order: whichever of the two runs second wires
+// the remote tier's own obs counters.
+func (c *Cache) SetRemote(r *Remote) {
+	c.remote = r
+	if c.obsReg != nil {
+		r.SetObs(c.obsReg)
+	}
+}
 
 // SetObs mirrors the cache's tier outcomes into per-stage obs counters
 // ("cache/{frag,class}/{hit,disk,miss,wait}", "cache/plan/{hit,miss}"),
 // with the wait tier a nanosecond histogram of time spent blocked behind
-// another goroutine's in-flight computation. The stats Snapshot counters
-// are unaffected. Call before concurrent use.
+// another goroutine's in-flight computation. An attached remote tier gets
+// its counters too (see Remote.SetObs), regardless of whether SetRemote
+// ran before or after this. The stats Snapshot counters are unaffected.
+// Call before concurrent use.
 func (c *Cache) SetObs(m *obs.Metrics) {
 	if m == nil {
 		return
 	}
+	c.obsReg = m
 	c.fragT.resolve(m, "frag")
 	c.classT.resolve(m, "class")
 	c.planHitT = m.Stage("cache/plan/hit")
 	c.planMissT = m.Stage("cache/plan/miss")
+	c.remote.SetObs(m)
 }
 
 // Fragment returns the memoized fragment for key, running compute on the
