@@ -190,6 +190,25 @@ func BenchmarkAllocatorOnly(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyze measures the cold front-end (reuse analysis + DFG
+// construction) on every Table-1 kernel. The reuse summary is computed in
+// closed form over the affine references — per-level cost is O(depth) AP
+// merging, independent of trip counts — so this tracks nest *structure*,
+// not iteration-space size; a regression here usually means something
+// fell back to the enumeration oracle.
+func BenchmarkAnalyze(b *testing.B) {
+	for _, k := range kernels.All() {
+		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hls.Analyze(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulate measures a cold compositional cycle simulation (no
 // shared cache) on every Table-1 kernel under its CPA-RA plan, with
 // allocation counts. This is the per-point DSE hot path; with the

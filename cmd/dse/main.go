@@ -449,8 +449,9 @@ func simsNote(st dse.StreamStats, nocache bool) string {
 	return fmt.Sprintf("%d unique simulations%s", st.UniqueSims, cacheNote(st.Cache))
 }
 
-// cacheNote renders the per-stage hit counters (entry fragments, class
-// schedules, whole plans) as hits[+diskHits]/misses per stage.
+// cacheNote renders the per-stage hit counters (front-end analyses, entry
+// fragments, class schedules, whole plans) as hits[+diskHits]/misses per
+// stage.
 func cacheNote(s simcache.Snapshot) string {
 	if s.Zero() {
 		return ""

@@ -1,0 +1,203 @@
+package dse
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/hls"
+	"repro/internal/kernels"
+	"repro/internal/simcache"
+)
+
+// blobFile reproduces the store's on-disk name for one analysis key: the
+// "a" kind prefix plus the key's SHA-256 content address.
+func blobFile(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, "a"+hex.EncodeToString(sum[:]))
+}
+
+// TestAnalysisCacheMemoizes: the decoded-object memo answers repeats
+// without touching the byte store, and counts them as analysis hits.
+func TestAnalysisCacheMemoizes(t *testing.T) {
+	ac := NewAnalysisCache()
+	store := simcache.New()
+	k := kernels.Figure1()
+	first, err := ac.Get(k, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ac.Get(k, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("memo returned a different object on the second lookup")
+	}
+	if s := store.Snapshot(); s.AnalysisMisses != 1 || s.AnalysisHits != 1 {
+		t.Errorf("stats %+v, want 1 analysis miss + 1 memo hit", s)
+	}
+	want, err := hls.Analyze(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Infos, want.Infos) {
+		t.Error("cached analysis diverges from a fresh one")
+	}
+}
+
+// TestAnalysisCacheNilStore: without a byte store the memo still
+// deduplicates within the process.
+func TestAnalysisCacheNilStore(t *testing.T) {
+	ac := NewAnalysisCache()
+	k := kernels.FIR()
+	first, err := ac.Get(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ac.Get(k, nil)
+	if err != nil || first != second {
+		t.Fatalf("nil-store memo broken: %p vs %p, %v", first, second, err)
+	}
+}
+
+// TestAnalysisCacheDiskDecode: a second process (fresh memo, shared
+// directory) decodes the first process's blob instead of re-deriving.
+func TestAnalysisCacheDiskDecode(t *testing.T) {
+	dir := t.TempDir()
+	k := kernels.Figure1()
+	s1, err := simcache.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewAnalysisCache().Get(k, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := simcache.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewAnalysisCache().Get(k, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := s2.Snapshot(); s.AnalysisDiskHits != 1 || s.AnalysisMisses != 0 {
+		t.Errorf("stats %+v, want 1 analysis disk hit", s)
+	}
+	if !reflect.DeepEqual(got.Infos, want.Infos) {
+		t.Error("decoded analysis diverges from the computed one")
+	}
+	if got.Graph.Fingerprint() != want.Graph.Fingerprint() {
+		t.Error("decoded graph diverges from the computed one")
+	}
+}
+
+// TestAnalysisCachePoisonedBlobFallsBack: a blob that passes the store's
+// envelope but fails semantic revalidation degrades to a fresh analysis,
+// never to an error or a wrong result.
+func TestAnalysisCachePoisonedBlobFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	fig, fir := kernels.Figure1(), kernels.FIR()
+	s1, err := simcache.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the store, then graft fir's blob onto figure1's key on disk: the
+	// envelope checksum still matches (it covers the payload we copy), but
+	// the payload describes the wrong kernel.
+	if _, err := NewAnalysisCache().Get(fig, s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAnalysisCache().Get(fir, s1); err != nil {
+		t.Fatal(err)
+	}
+	figName := blobFile(dir, hls.KernelFingerprint(fig))
+	firName := blobFile(dir, hls.KernelFingerprint(fir))
+	blob, err := os.ReadFile(firName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(figName, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := simcache.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewAnalysisCache().Get(fig, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hls.Analyze(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Infos, want.Infos) {
+		t.Error("poisoned blob produced a wrong analysis instead of a fallback")
+	}
+}
+
+// TestAnalysisCacheSingleFlight: concurrent lookups of one kernel share
+// one computation and one store miss.
+func TestAnalysisCacheSingleFlight(t *testing.T) {
+	ac := NewAnalysisCache()
+	store := simcache.New()
+	k := kernels.MAT()
+	const n = 16
+	results := make([]*hls.Analysis, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { //repro:norecover Get converts analysis panics to errors itself
+			defer wg.Done()
+			an, err := ac.Get(k, store)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = an
+		}()
+	}
+	wg.Wait()
+	for _, an := range results[1:] {
+		if an != results[0] {
+			t.Fatal("concurrent lookups returned distinct objects")
+		}
+	}
+	s := store.Snapshot()
+	if s.AnalysisMisses != 1 {
+		t.Errorf("analysis misses = %d, want 1", s.AnalysisMisses)
+	}
+	if s.AnalysisHits+s.AnalysisMisses != n {
+		t.Errorf("hits+misses = %d, want %d (tiers must sum to lookups)", s.AnalysisHits+s.AnalysisMisses, n)
+	}
+}
+
+// TestAnalysisCacheEngineShared: two explorations under one engine-level
+// memo — the second run's analyze stage is all memo hits.
+func TestAnalysisCacheEngineShared(t *testing.T) {
+	store := simcache.New()
+	e := Engine{Workers: 2, SimCache: store, Analyses: NewAnalysisCache()}
+	sp := smallSpace()
+	first := mustExplore(t, e, sp)
+	if first.Cache.AnalysisMisses == 0 {
+		t.Fatal("cold run reported no analysis misses")
+	}
+	second := mustExplore(t, e, sp)
+	if second.Cache.AnalysisMisses != 0 {
+		t.Errorf("warm run reported %d analysis misses, want 0", second.Cache.AnalysisMisses)
+	}
+	if second.Cache.AnalysisHits == 0 {
+		t.Error("warm run reported no analysis hits")
+	}
+	// The per-run snapshot delta isolates each run's lookups.
+	if first.Cache.AnalysisHits != 0 {
+		t.Errorf("cold run inherited %d hits from nowhere", first.Cache.AnalysisHits)
+	}
+}

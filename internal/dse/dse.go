@@ -138,6 +138,13 @@ type Engine struct {
 	// externally owned: it never calls SetObs on it — wire observability
 	// once, at construction, before concurrent use.
 	SimCache *simcache.Cache
+	// Analyses, when non-nil, is a process-lifetime memo of decoded
+	// front-end analyses shared across explorations: a warm request's
+	// analyze stage becomes one map lookup. Nil builds a fresh memo per
+	// exploration (deduplication within the run only). Like SimCache, a
+	// provided memo is externally owned and safe for concurrent
+	// explorations.
+	Analyses *AnalysisCache
 	// Window caps the order-restoring window of the streaming entry
 	// points (ExploreStream/ExploreShardStream): at most Window results
 	// are dispatched-but-unemitted at any moment, so a slow head-of-line
@@ -258,8 +265,17 @@ func (e Engine) evalPoint(an *hls.Analysis, p Point, sim hls.SimFunc, members bo
 
 // analyzeKernels builds the memoized front-end of every included kernel
 // on the axis, concurrently (one analysis per kernel, however many points
-// share it). A nil include set means every kernel.
-func (e Engine) analyzeKernels(sp Space, include map[string]bool) (map[string]*hls.Analysis, error) {
+// share it). A nil include set means every kernel. Lookups go through the
+// engine's AnalysisCache (a fresh one when the engine carries none) and,
+// when store is non-nil, through its byte tiers — so a kernel analyzed by
+// an earlier run, another shard, or another host is decoded instead of
+// re-derived, and the cache/analysis/* obs stages record the tier that
+// answered.
+func (e Engine) analyzeKernels(sp Space, include map[string]bool, store *simcache.Cache) (map[string]*hls.Analysis, error) {
+	ac := e.Analyses
+	if ac == nil {
+		ac = NewAnalysisCache()
+	}
 	analyses := make(map[string]*hls.Analysis, len(sp.Kernels))
 	errs := make([]error, len(sp.Kernels))
 	var (
@@ -287,11 +303,11 @@ func (e Engine) analyzeKernels(sp Space, include map[string]bool) (map[string]*h
 			var err error
 			if e.Obs != nil || e.Trace != nil {
 				sp := obs.Begin(e.Obs, e.Trace, -1, k.Name, "analyze")
-				e.Obs.Do(func() { a, err = hls.Analyze(k) },
+				e.Obs.Do(func() { a, err = ac.Get(k, store) },
 					"kernel", k.Name, "stage", "analyze")
 				sp.End("")
 			} else {
-				a, err = hls.Analyze(k)
+				a, err = ac.Get(k, store)
 			}
 			if err != nil {
 				errs[i] = err

@@ -67,6 +67,8 @@ func TestObsStageCoverage(t *testing.T) {
 		"analyze", "alloc/FR-RA", "alloc/CPA-RA", "plan", "sim",
 		"point", "explore", "window",
 		"cache/plan/hit", "cache/plan/miss", "report/table",
+		// A cold engine-owned run: every kernel's analysis is a miss.
+		"cache/analysis/miss",
 	} {
 		ss, ok := snap.Stages[stage]
 		if !ok || ss.Count == 0 {
@@ -136,6 +138,12 @@ func TestObsCacheTiersMirrorSnapshot(t *testing.T) {
 	}
 	if got := cnt("cache/plan/miss"); got != c.PlanMisses {
 		t.Errorf("plan miss = %d, stats PlanMisses = %d", got, c.PlanMisses)
+	}
+	if got := cnt("cache/analysis/hit") + cnt("cache/analysis/wait"); got != c.AnalysisHits {
+		t.Errorf("analysis hit+wait = %d, stats AnalysisHits = %d", got, c.AnalysisHits)
+	}
+	if got := cnt("cache/analysis/miss"); got != c.AnalysisMisses {
+		t.Errorf("analysis miss = %d, stats AnalysisMisses = %d", got, c.AnalysisMisses)
 	}
 }
 

@@ -153,19 +153,13 @@ func (e Engine) exploreOwned(ctx context.Context, sp Space, owned []int, window 
 	for _, i := range owned {
 		ownedKernels[pts[i].Kernel.Name] = true
 	}
-	analyses, err := e.analyzeKernels(sp, ownedKernels)
-	if err != nil {
-		return StreamStats{}, err
-	}
-	if err := sr.Begin(sp, len(owned)); err != nil {
-		return StreamStats{}, err
-	}
-
-	sim := hls.SimFunc(simDirect)
-	var cache *simCache
+	// The byte store is built (or adopted) before the front-end runs, and
+	// the baseline snapshot taken first, so this run's analysis-cache
+	// lookups land in the per-run delta alongside its simulation lookups.
+	var frag *simcache.Cache
 	var cacheBase simcache.Snapshot
 	if !e.NoSimCache {
-		frag := e.SimCache
+		frag = e.SimCache
 		if frag == nil {
 			// Engine-owned store: built fresh for this exploration, so the
 			// engine also wires its observability. A provided SimCache is
@@ -177,11 +171,23 @@ func (e Engine) exploreOwned(ctx context.Context, sp Space, owned []int, window 
 			}
 			frag.SetObs(e.Obs)
 		}
-		cache = newSimCache(frag, e.Obs)
 		// A shared store arrives with history; StreamStats reports this
 		// exploration's own lookups, so shard trailers and request metrics
 		// stay per-run whatever the store's age.
-		cacheBase = cache.snapshot()
+		cacheBase = frag.Snapshot()
+	}
+	analyses, err := e.analyzeKernels(sp, ownedKernels, frag)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	if err := sr.Begin(sp, len(owned)); err != nil {
+		return StreamStats{}, err
+	}
+
+	sim := hls.SimFunc(simDirect)
+	var cache *simCache
+	if frag != nil {
+		cache = newSimCache(frag, e.Obs)
 		sim = cache.simulate
 	}
 	// The "explore" stage is the engine's own wall clock, stopped before the

@@ -32,7 +32,12 @@ type Executor interface {
 }
 
 // EngineExecutor runs points in-process on its own engine — the executor
-// the tests (and single-host fleets) use.
+// the tests (and single-host fleets) use. The Engine value is copied per
+// Run, but its SimCache and Analyses pointers are shared: give every
+// executor of one fleet the same store and the same dse.AnalysisCache and
+// a kernel analyzed by any attempt — including an attempt that later
+// failed or was cancelled as a straggler — is a memo hit for every retry
+// and steal that follows.
 type EngineExecutor struct {
 	Label  string
 	Engine dse.Engine
@@ -66,6 +71,9 @@ type ProcExecutor struct {
 	Bin string
 	// Args are extra CLI arguments appended to every attempt (e.g.
 	// -simcache-dir or -simcache-url, so workers share simulation work).
+	// The shared store carries front-end analysis blobs alongside
+	// fragments and class schedules, so a worker process also skips
+	// re-deriving any kernel another attempt analyzed first.
 	Args []string
 }
 

@@ -148,6 +148,37 @@ func TestFleetSurvivesKilledExecutor(t *testing.T) {
 	}
 }
 
+// TestFleetSharedFrontEnd: executors sharing one store and one analysis
+// memo derive each kernel's front-end exactly once fleet-wide — even with
+// an executor dying mid-stream, a retry or steal re-analyzes nothing —
+// and the output stays byte-identical to the single-process run.
+func TestFleetSharedFrontEnd(t *testing.T) {
+	sp, spec := testSpace(t)
+	want := wantRender(t, sp)
+	store := simcache.New()
+	analyses := dse.NewAnalysisCache()
+	mk := func(label string) *fleet.EngineExecutor {
+		return &fleet.EngineExecutor{Label: label, Engine: dse.Engine{Workers: 2, SimCache: store, Analyses: analyses}}
+	}
+	killer := &faultinject.KillAfterRows{Exec: mk("flaky"), Rows: 3, Times: 1}
+	d, err := fleet.New(fleet.Config{Tasks: 4}, killer, mk("steady"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, want, rs)
+	s := store.Snapshot()
+	if s.AnalysisMisses != 2 {
+		t.Errorf("analysis misses = %d, want 2 (one derivation per kernel fleet-wide)", s.AnalysisMisses)
+	}
+	if s.AnalysisHits == 0 {
+		t.Error("no analysis memo hits across attempts")
+	}
+}
+
 // TestFleetWorkStealing: a dead executor's tasks migrate to the healthy
 // one, the dead one retires, and the sweep still completes identically.
 func TestFleetWorkStealing(t *testing.T) {

@@ -1,0 +1,124 @@
+package hls
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/kernels"
+)
+
+// TestFingerprintDistinguishesKernels: every Table-1 kernel gets its own
+// content address, and the address is renaming-invariant.
+func TestFingerprintDistinguishesKernels(t *testing.T) {
+	seen := map[string]string{}
+	for _, k := range kernels.All() {
+		fp := KernelFingerprint(k)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s and %s share a fingerprint", prev, k.Name)
+		}
+		seen[fp] = k.Name
+	}
+
+	a := kernels.Figure1()
+	b := kernels.Figure1()
+	b.Name = "renamed"
+	b.Rmax = a.Rmax * 2
+	if KernelFingerprint(a) != KernelFingerprint(b) {
+		t.Error("fingerprint depends on the kernel's name or budget")
+	}
+
+	an, err := Analyze(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Fingerprint() != KernelFingerprint(a) {
+		t.Error("Analysis.Fingerprint differs from the kernel fingerprint")
+	}
+}
+
+// TestFingerprintSeesAccessPatterns: changing a loop bound or an index
+// coefficient must change the address.
+func TestFingerprintSeesAccessPatterns(t *testing.T) {
+	base := dsl.MustParse(`
+kernel base;
+array x[64]:8;
+array o[32]:8;
+for i = 0..32 {
+  o[i] = x[i];
+}
+`)
+	bound := dsl.MustParse(`
+kernel bound;
+array x[64]:8;
+array o[32]:8;
+for i = 0..16 {
+  o[i] = x[i];
+}
+`)
+	coeff := dsl.MustParse(`
+kernel coeff;
+array x[64]:8;
+array o[32]:8;
+for i = 0..32 {
+  o[i] = x[2*i];
+}
+`)
+	mk := func(n string) kernels.Kernel { return kernels.Kernel{Name: n, Rmax: 64} }
+	kb, kbound, kcoeff := mk("base"), mk("bound"), mk("coeff")
+	kb.Nest, kbound.Nest, kcoeff.Nest = base, bound, coeff
+	if KernelFingerprint(kb) == KernelFingerprint(kbound) {
+		t.Error("loop bound change not reflected in fingerprint")
+	}
+	if KernelFingerprint(kb) == KernelFingerprint(kcoeff) {
+		t.Error("index coefficient change not reflected in fingerprint")
+	}
+}
+
+// TestEncodeDecodeRoundTrip: decode(encode(analysis)) reproduces the reuse
+// summary exactly, for every kernel.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, k := range kernels.All() {
+		an, err := Analyze(k)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		back, err := DecodeAnalysis(k, an.Encode())
+		if err != nil {
+			t.Fatalf("%s: decode: %v", k.Name, err)
+		}
+		if !reflect.DeepEqual(an.Infos, back.Infos) {
+			t.Errorf("%s: decoded infos diverge", k.Name)
+		}
+		if an.Graph.Fingerprint() != back.Graph.Fingerprint() {
+			t.Errorf("%s: decoded graph diverges", k.Name)
+		}
+	}
+}
+
+// TestDecodeRejectsMismatches: version, cross-kernel, and corrupt blobs
+// all fail decode instead of producing a wrong analysis.
+func TestDecodeRejectsMismatches(t *testing.T) {
+	fig, fir := kernels.Figure1(), kernels.FIR()
+	an, err := Analyze(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := an.Encode()
+
+	if _, err := DecodeAnalysis(fir, blob); err == nil {
+		t.Error("figure1 blob decoded against fir")
+	}
+	stale := []byte("A0" + string(blob[2:]))
+	if _, err := DecodeAnalysis(fig, stale); err == nil {
+		t.Error("stale version accepted")
+	}
+	corrupt := []byte(strings.Replace(string(blob), " ", " 999999 ", 1))
+	if _, err := DecodeAnalysis(fig, corrupt); err == nil {
+		t.Error("corrupt blob accepted")
+	}
+	if _, err := DecodeAnalysis(fig, nil); err == nil {
+		t.Error("empty blob accepted")
+	}
+}

@@ -8,6 +8,7 @@ package hls
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dfg"
@@ -81,6 +82,9 @@ type Analysis struct {
 	Kernel kernels.Kernel
 	Infos  []*reuse.Info
 	Graph  *dfg.Graph
+
+	fp     string
+	fpOnce sync.Once
 }
 
 // Analyze runs the kernel front-end once: reuse analysis + DFG build.

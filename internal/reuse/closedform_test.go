@@ -1,0 +1,202 @@
+package reuse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/kernels"
+)
+
+// diffAllLevels three-way checks one nest: for every reference group and
+// every level, closed form, enumerating oracle, and the production
+// distinctAtLevel must agree. requireClosed additionally demands the
+// closed form answers without falling back — true for every shape we can
+// name; random nests merely require correctness whichever path answers.
+func diffAllLevels(t *testing.T, n *ir.Nest, requireClosed bool) {
+	t.Helper()
+	for _, g := range n.RefGroups() {
+		for l := 0; l <= n.Depth(); l++ {
+			want := distinctEnumerated(n, g.Ref, l)
+			got, ok := distinctClosedForm(n, g.Ref, l)
+			if !ok && requireClosed {
+				t.Errorf("%s: %s level %d: closed form fell back to the oracle", n.Name, g.Key, l)
+			}
+			if ok && got != want {
+				t.Errorf("%s: %s level %d: closed form %d, oracle %d", n.Name, g.Key, l, got, want)
+			}
+			if prod := distinctAtLevel(n, g.Ref, l); prod != want {
+				t.Errorf("%s: %s level %d: distinctAtLevel %d, oracle %d", n.Name, g.Key, l, prod, want)
+			}
+		}
+	}
+}
+
+// TestClosedFormMatchesOracleKernels: the Table-1 kernels, reference by
+// reference and level by level.
+func TestClosedFormMatchesOracleKernels(t *testing.T) {
+	for _, k := range kernels.All() {
+		t.Run(k.Name, func(t *testing.T) { diffAllLevels(t, k.Nest, true) })
+	}
+}
+
+// TestClosedFormEdgeCases: the shapes the arithmetic-progression reduction
+// has to get exactly right — negative coefficients, strided loops,
+// cross-dimension skew, degenerate single-trip loops, and coprime strides
+// that exercise the two-progression overlap formula.
+func TestClosedFormEdgeCases(t *testing.T) {
+	mk := func(name string, loops []ir.Loop, arr *ir.Array, out *ir.Array, outIdx []ir.Affine, idx ...ir.Affine) *ir.Nest {
+		t.Helper()
+		n, err := ir.NewNest(name, loops, []*ir.Assign{{
+			LHS: ir.Ref(out, outIdx...),
+			RHS: ir.Ref(arr, idx...),
+		}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return n
+	}
+	i8 := ir.Loop{Var: "i", Lo: 0, Hi: 8, Step: 1}
+	j4 := ir.Loop{Var: "j", Lo: 0, Hi: 4, Step: 1}
+
+	cases := []*ir.Nest{
+		// Negative coefficient: x[7 - i + j] mirrors the progression.
+		mk("negcoef",
+			[]ir.Loop{i8, j4},
+			ir.NewArray("x", 8, 16), ir.NewArray("o", 8, 8, 4),
+			[]ir.Affine{ir.AffVar("i"), ir.AffVar("j")},
+			ir.AffTerm(-1, "i", 7).Add(ir.AffVar("j"))),
+		// Step > 1: i walks 0,3,...,15 — stride 3 progression.
+		mk("strided",
+			[]ir.Loop{{Var: "i", Lo: 0, Hi: 16, Step: 3}, j4},
+			ir.NewArray("x", 8, 20), ir.NewArray("o", 8, 16, 4),
+			[]ir.Affine{ir.AffVar("i"), ir.AffVar("j")},
+			ir.AffVar("i").Add(ir.AffVar("j"))),
+		// Multi-dimensional skew: b[i+j][j] couples the dimensions, so the
+		// count must come from the flattened index, not a per-dim product.
+		mk("skew",
+			[]ir.Loop{i8, j4},
+			ir.NewArray("b", 8, 12, 4), ir.NewArray("o", 8, 8, 4),
+			[]ir.Affine{ir.AffVar("i"), ir.AffVar("j")},
+			ir.AffVar("i").Add(ir.AffVar("j")), ir.AffVar("j")),
+		// Degenerate single-trip loop: j contributes nothing.
+		mk("singletrip",
+			[]ir.Loop{i8, {Var: "j", Lo: 5, Hi: 6, Step: 1}},
+			ir.NewArray("x", 8, 16), ir.NewArray("o", 8, 8, 1),
+			[]ir.Affine{ir.AffVar("i"), ir.AffConst(0)},
+			ir.AffVar("i").Add(ir.AffVar("j")).Sub(ir.AffConst(5))),
+		// Coprime strides 3 and 5: irreducible progressions, exact overlap.
+		mk("coprime",
+			[]ir.Loop{{Var: "i", Lo: 0, Hi: 10, Step: 1}, j4},
+			ir.NewArray("x", 8, 64), ir.NewArray("o", 8, 10, 4),
+			[]ir.Affine{ir.AffVar("i"), ir.AffVar("j")},
+			ir.AffTerm(3, "i", 0).Add(ir.AffTerm(5, "j", 0))),
+	}
+	for _, n := range cases {
+		t.Run(n.Name, func(t *testing.T) { diffAllLevels(t, n, true) })
+	}
+
+	// Pin the coprime case's whole-nest footprint: {3i+5j : i<10, j<4}
+	// loses one element per (i,j) -> (i+5, j-3) chain edge — 5·1 of them.
+	coprime := cases[len(cases)-1]
+	got, ok := distinctClosedForm(coprime, coprime.RefGroups()[0].Ref, 0)
+	if !ok || got != 35 {
+		t.Errorf("coprime footprint: got %d (closed=%v), want 35", got, ok)
+	}
+}
+
+// TestClosedFormZeroTrip: a zero-trip loop empties the sub-space. Such
+// nests do not validate (Analyze never sees them), but the counter must
+// still agree with the oracle rather than divide the space away.
+func TestClosedFormZeroTrip(t *testing.T) {
+	x := ir.NewArray("x", 8, 16)
+	n := &ir.Nest{
+		Name:  "zerotrip",
+		Loops: []ir.Loop{{Var: "i", Lo: 0, Hi: 4, Step: 1}, {Var: "j", Lo: 3, Hi: 3, Step: 1}},
+		Body: []*ir.Assign{{
+			LHS: ir.Ref(x, ir.AffVar("i")),
+			RHS: ir.Ref(x, ir.AffVar("i").Add(ir.AffVar("j"))),
+		}},
+	}
+	r := n.Body[0].RHS.(*ir.ArrayRef)
+	for l := 0; l <= n.Depth(); l++ {
+		want := distinctEnumerated(n, r, l)
+		got, ok := distinctClosedForm(n, r, l)
+		if !ok || got != want {
+			t.Errorf("level %d: closed form %d (ok=%v), oracle %d", l, got, ok, want)
+		}
+	}
+}
+
+// TestClosedFormRandomNests: irgen nests, including strided loops (irgen
+// assigns Step=2 with probability 1/4) and interior-zero coefficients,
+// three-way diffed against the oracle.
+func TestClosedFormRandomNests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep")
+	}
+	cfgs := []irgen.Config{
+		{},
+		{MaxDepth: 4, MaxTrip: 5},
+		{InteriorZeroProb: 0.5},
+	}
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := irgen.Nest(rng, cfgs[seed%int64(len(cfgs))])
+		diffAllLevels(t, n, false)
+	}
+}
+
+// TestFromDistinctRoundTrip: Analyze → profile → FromDistinct reproduces
+// the summaries exactly — the property the analysis cache's decode path
+// rests on.
+func TestFromDistinctRoundTrip(t *testing.T) {
+	for _, k := range kernels.All() {
+		infos, err := Analyze(k.Nest)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		profile := make([][]int, len(infos))
+		for i, inf := range infos {
+			profile[i] = inf.Distinct
+		}
+		back, err := FromDistinct(k.Nest, profile)
+		if err != nil {
+			t.Fatalf("%s: FromDistinct: %v", k.Name, err)
+		}
+		if !reflect.DeepEqual(infos, back) {
+			t.Errorf("%s: FromDistinct diverges from Analyze", k.Name)
+		}
+	}
+}
+
+// TestFromDistinctRejectsMalformed: the decode path refuses profiles whose
+// shape or bounds do not match the nest — wrong group count, wrong depth,
+// and counts outside the per-level envelope.
+func TestFromDistinctRejectsMalformed(t *testing.T) {
+	n := kernels.Figure1().Nest
+	infos, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([][]int, len(infos))
+	for i, inf := range infos {
+		good[i] = append([]int(nil), inf.Distinct...)
+	}
+	if _, err := FromDistinct(n, good[:len(good)-1]); err == nil {
+		t.Error("wrong group count accepted")
+	}
+	bad := append([][]int(nil), good...)
+	bad[0] = good[0][:len(good[0])-1]
+	if _, err := FromDistinct(n, bad); err == nil {
+		t.Error("wrong depth accepted")
+	}
+	bad = append([][]int(nil), good...)
+	bad[1] = append([]int(nil), good[1]...)
+	bad[1][0] = bad[1][1] * n.Loops[0].Trip() * 2 // above the trip envelope
+	if _, err := FromDistinct(n, bad); err == nil {
+		t.Error("out-of-envelope count accepted")
+	}
+}

@@ -97,11 +97,15 @@ type Config struct {
 
 // Server runs explorations against one shared warm cache.
 type Server struct {
-	cache   *simcache.Cache
-	metrics *obs.Metrics
-	cfg     Config
-	mux     *http.ServeMux
-	start   time.Time
+	cache *simcache.Cache
+	// analyses is the process-lifetime memo of decoded front-end analyses:
+	// a warm request's analyze stage is a map lookup, no decode and no
+	// disk probe, however many requests came before.
+	analyses *dse.AnalysisCache
+	metrics  *obs.Metrics
+	cfg      Config
+	mux      *http.ServeMux
+	start    time.Time
 
 	sem      chan struct{}
 	queued   atomic.Int64
@@ -139,6 +143,7 @@ func New(cache *simcache.Cache, metrics *obs.Metrics, cfg Config) (*Server, erro
 	}
 	s := &Server{
 		cache:    cache,
+		analyses: dse.NewAnalysisCache(),
 		metrics:  metrics,
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
@@ -371,7 +376,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	// trailer carries its snapshot); the shared cache keeps feeding the
 	// process registry it was wired to at startup.
 	reqObs := obs.New()
-	engine := dse.Engine{Workers: s.cfg.Workers, Window: s.cfg.Window, SimCache: s.cache, Obs: reqObs}
+	engine := dse.Engine{Workers: s.cfg.Workers, Window: s.cfg.Window, SimCache: s.cache, Analyses: s.analyses, Obs: reqObs}
 	tm := s.requestT.Start()
 	start := time.Now()
 	var st dse.StreamStats

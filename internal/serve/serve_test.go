@@ -206,6 +206,14 @@ func TestNDJSONTrailerCarriesRequestDelta(t *testing.T) {
 	if trailer.Cache.EntryHits == 0 {
 		t.Errorf("warm request trailer reports no hits: %+v", *trailer.Cache)
 	}
+	// The front-end memo is process-lifetime: the warm request's analyze
+	// stage is all hits, no misses.
+	if trailer.Cache.AnalysisMisses != 0 {
+		t.Errorf("warm request trailer reports analysis misses: %+v", *trailer.Cache)
+	}
+	if trailer.Cache.AnalysisHits == 0 {
+		t.Errorf("warm request trailer reports no analysis hits: %+v", *trailer.Cache)
+	}
 }
 
 func TestExploreValidation(t *testing.T) {
@@ -280,9 +288,11 @@ func TestQueueWaitsForSlot(t *testing.T) {
 }
 
 // TestDeadline: a request whose budget cannot cover the sweep fails with
-// 504 (buffered formats; the stream acknowledges at row granularity).
+// 504 (buffered formats; the stream acknowledges at row granularity). The
+// budget is one nanosecond — expired before dispatch starts — so the test
+// does not depend on how fast the sweep itself runs.
 func TestDeadline(t *testing.T) {
-	_, ts, _ := newTestServer(t, Config{Timeout: time.Millisecond})
+	_, ts, _ := newTestServer(t, Config{Timeout: time.Nanosecond})
 	resp := postSpec(t, ts.URL, smallSpec(t), "csv")
 	if body := readBody(t, resp); resp.StatusCode != http.StatusGatewayTimeout {
 		t.Errorf("status %d, want 504: %s", resp.StatusCode, body)

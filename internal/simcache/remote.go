@@ -6,8 +6,9 @@ package simcache
 //	GET /v1/blob/<kind>/<key>   -> 200 + value bytes | 404
 //	PUT /v1/blob/<kind>/<key>   -> 204 | 400 on a malformed blob
 //
-// <kind> is the one-letter fragment kind the disk tier already uses ("f"
-// for entry fragments, "c" for class lengths) and <key> is the SHA-256 hex
+// <kind> is the one-letter value kind the disk tier already uses ("f"
+// for entry fragments, "c" for class lengths, "a" for front-end analysis
+// blobs) and <key> is the SHA-256 hex
 // digest of the canonical cache key — so a blob name equals the disk
 // filename, and any HTTP cache or object store that can serve the paths
 // can stand in for the server. The protocol is versioned by the path
@@ -36,11 +37,21 @@ import (
 
 const (
 	blobPathPrefix = "/v1/blob/"
-	// maxBlobSize bounds a blob transfer on both ends: v1 values are two
-	// decimal ints and a flag, far under this, so anything larger is
-	// malformed by construction.
-	maxBlobSize = 256
+	// maxValueBlobSize bounds a two-int value transfer on both ends: v1
+	// values are two decimal ints and a flag, far under this, so anything
+	// larger is malformed by construction. Analysis blobs carry a
+	// per-reference-group payload and get a correspondingly larger cap.
+	maxValueBlobSize    = 256
+	maxAnalysisBlobSize = 1 << 16
 )
+
+// maxBlobSize returns the transfer cap of one blob kind.
+func maxBlobSize(kind string) int {
+	if kind == kindAnalysis {
+		return maxAnalysisBlobSize
+	}
+	return maxValueBlobSize
+}
 
 // Remote is the client side of the blob protocol: the third lookup tier of
 // a Cache (memory → disk → remote), attached with SetRemote. Transient
@@ -148,7 +159,8 @@ func (r *Remote) get(kind, hash string) ([]byte, bool, error) {
 			lastErr = err
 			continue
 		}
-		body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBlobSize+1))
+		limit := maxBlobSize(kind)
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, int64(limit)+1))
 		resp.Body.Close()
 		switch {
 		case resp.StatusCode == http.StatusNotFound:
@@ -164,8 +176,8 @@ func (r *Remote) get(kind, hash string) ([]byte, bool, error) {
 		case rerr != nil:
 			lastErr = rerr
 			continue
-		case len(body) > maxBlobSize:
-			return nil, false, fmt.Errorf("simcache: remote blob %s/%s exceeds %d bytes", kind, hash, maxBlobSize)
+		case len(body) > limit:
+			return nil, false, fmt.Errorf("simcache: remote blob %s/%s exceeds %d bytes", kind, hash, limit)
 		}
 		return body, true, nil
 	}
@@ -193,7 +205,7 @@ func (r *Remote) put(kind, hash string, data []byte) error {
 			lastErr = err
 			continue
 		}
-		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBlobSize))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxValueBlobSize))
 		resp.Body.Close()
 		switch {
 		case resp.StatusCode >= 500:
@@ -257,20 +269,30 @@ func (h *blobHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(data)
 	case http.MethodPut:
-		data, err := io.ReadAll(io.LimitReader(r.Body, maxBlobSize+1))
-		if err != nil || len(data) > maxBlobSize {
+		limit := maxBlobSize(kind)
+		data, err := io.ReadAll(io.LimitReader(r.Body, int64(limit)+1))
+		if err != nil || len(data) > limit {
 			h.reject.Inc()
 			http.Error(w, "blob too large or unreadable", http.StatusBadRequest)
 			return
 		}
-		var a, b int
-		if !decodeValue(data, &a, &b) {
-			h.reject.Inc()
-			http.Error(w, "malformed blob value", http.StatusBadRequest)
-			return
+		if kind == kindAnalysis {
+			if _, ok := decodeAnalysisBlob(data); !ok {
+				h.reject.Inc()
+				http.Error(w, "malformed blob value", http.StatusBadRequest)
+				return
+			}
+		} else {
+			var a, b int
+			if !decodeValue(data, &a, &b) {
+				h.reject.Inc()
+				http.Error(w, "malformed blob value", http.StatusBadRequest)
+				return
+			}
+			data = encodeValue(a, b) // persist the canonical form
 		}
 		h.put.Inc()
-		h.c.writeBlob(kind+hash, encodeValue(a, b))
+		h.c.writeBlob(kind+hash, data)
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		h.reject.Inc()
@@ -289,7 +311,7 @@ func splitBlobPath(path string) (kind, hash string, ok bool) {
 		return "", "", false
 	}
 	kind, hash, found = strings.Cut(rest, "/")
-	if !found || (kind != kindFragment && kind != kindClass) || len(hash) != 64 {
+	if !found || (kind != kindFragment && kind != kindClass && kind != kindAnalysis) || len(hash) != 64 {
 		return "", "", false
 	}
 	for i := 0; i < len(hash); i++ {

@@ -96,11 +96,12 @@ func (t *tiers) resolve(m *obs.Metrics, kind string) {
 	t.wait = m.Stage("cache/" + kind + "/wait")
 }
 
-// The fragment kinds, used as disk filename prefixes and blob protocol
+// The value kinds, used as disk filename prefixes and blob protocol
 // path segments alike.
 const (
 	kindFragment = "f" // entry fragments (transfer replays)
 	kindClass    = "c" // class lengths (list-scheduled latencies)
+	kindAnalysis = "a" // front-end analysis blobs (opaque encoded summaries)
 )
 
 // Lookup tiers below memory, as reported by load.
@@ -118,22 +119,24 @@ type Cache struct {
 	dir    string  // "" = memory only
 	remote *Remote // nil = no network tier
 
-	mu      sync.Mutex
-	frags   map[string]*entry[Fragment]
-	classes map[string]*entry[ClassLen]
+	mu       sync.Mutex
+	frags    map[string]*entry[Fragment]
+	classes  map[string]*entry[ClassLen]
+	analyses map[string]*entry[[]byte]
 
 	stats stats
 
-	obsReg              *obs.Metrics
-	fragT, classT       tiers
-	planHitT, planMissT *obs.StageStats
+	obsReg                   *obs.Metrics
+	fragT, classT, analysisT tiers
+	planHitT, planMissT      *obs.StageStats
 }
 
 // New returns an in-memory cache.
 func New() *Cache {
 	return &Cache{
-		frags:   map[string]*entry[Fragment]{},
-		classes: map[string]*entry[ClassLen]{},
+		frags:    map[string]*entry[Fragment]{},
+		classes:  map[string]*entry[ClassLen]{},
+		analyses: map[string]*entry[[]byte]{},
 	}
 }
 
@@ -166,7 +169,7 @@ func (c *Cache) SetRemote(r *Remote) {
 }
 
 // SetObs mirrors the cache's tier outcomes into per-stage obs counters
-// ("cache/{frag,class}/{hit,disk,miss,wait}", "cache/plan/{hit,miss}"),
+// ("cache/{frag,class,analysis}/{hit,disk,miss,wait}", "cache/plan/{hit,miss}"),
 // with the wait tier a nanosecond histogram of time spent blocked behind
 // another goroutine's in-flight computation. An attached remote tier gets
 // its counters too (see Remote.SetObs), regardless of whether SetRemote
@@ -179,6 +182,7 @@ func (c *Cache) SetObs(m *obs.Metrics) {
 	c.obsReg = m
 	c.fragT.resolve(m, "frag")
 	c.classT.resolve(m, "class")
+	c.analysisT.resolve(m, "analysis")
 	c.planHitT = m.Stage("cache/plan/hit")
 	c.planMissT = m.Stage("cache/plan/miss")
 	c.remote.SetObs(m)
@@ -297,6 +301,76 @@ func (c *Cache) ClassLen(key string, compute func() (ClassLen, error)) (ClassLen
 	return e.val, e.err
 }
 
+// Analysis returns the memoized front-end analysis blob for key, running
+// compute on the first claim (after a disk/remote probe when those tiers
+// are attached). The cache treats the blob as opaque validated bytes — the
+// semantic encoding (and its revalidation against the kernel) belongs to
+// the owner (internal/hls); this layer guards framing and integrity only,
+// via a checksummed envelope (encodeAnalysisBlob). The returned slice is
+// shared: callers must not mutate it.
+func (c *Cache) Analysis(key string, compute func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	e := c.analyses[key]
+	claimed := e == nil
+	if claimed {
+		e = &entry[[]byte]{}
+		c.analyses[key] = e
+	}
+	c.mu.Unlock()
+	fn := func() {
+		defer func() {
+			if v := recover(); v != nil {
+				e.err = fmt.Errorf("simcache: analysis panic: %v", v)
+			}
+			e.done.Store(true)
+		}()
+		switch payload, t := c.loadBytes(kindAnalysis, key); t {
+		case tierDisk:
+			c.stats.analysisDiskHits.Add(1)
+			c.analysisT.disk.Inc()
+			e.val = payload
+			return
+		case tierRemote:
+			c.stats.analysisRemoteHits.Add(1)
+			c.analysisT.remote.Inc()
+			e.val = payload
+			return
+		}
+		c.stats.analysisMisses.Add(1)
+		c.analysisT.miss.Inc()
+		e.val, e.err = compute()
+		if e.err == nil {
+			c.storeBytes(kindAnalysis, key, e.val)
+		}
+	}
+	if claimed {
+		e.once.Do(fn)
+	} else {
+		c.stats.analysisHits.Add(1)
+		if e.done.Load() {
+			// Settled memory hit: the done acquire orders val/err reads.
+			c.analysisT.hit.Inc()
+		} else {
+			// In flight on another goroutine: the once blocks until it
+			// settles — the single-flight wait the obs histogram records.
+			tm := c.analysisT.wait.Start()
+			e.once.Do(fn)
+			tm.Stop()
+		}
+	}
+	return e.val, e.err
+}
+
+// AnalysisHit records a memory-tier analysis hit observed by a
+// decoded-object memo layered above the byte store (internal/dse keeps
+// decoded analyses per fingerprint and only consults the byte tier on a
+// memo miss), so the snapshot's hit/disk/remote/miss tiers still sum to
+// the number of lookups.
+func (c *Cache) AnalysisHit() {
+	c.stats.analysisHits.Add(1)
+	c.analysisT.hit.Inc()
+}
+
 // PlanHit and PlanMiss record the whole-plan simulation cache outcomes the
 // sweep engine's plan-level cache observes, so one snapshot carries all
 // three stages.
@@ -339,6 +413,59 @@ func decodeValue(data []byte, a, b *int) bool {
 		return false
 	}
 	return *a >= 0 && *b >= 0
+}
+
+// encodeAnalysisBlob and decodeAnalysisBlob are the v1 envelope of the
+// opaque analysis payloads: a header line carrying a format flag, the
+// payload length, and the payload's SHA-256, then the payload itself. The
+// semantic content is validated by the owner on decode (internal/hls
+// revalidates against the kernel); this envelope is the syntactic gate the
+// ingest paths (disk read, remote GET, blob-server PUT) share, mirroring
+// what decodeValue does for the two-int kinds. Anything that does not
+// parse or checksum is a miss, never a crash.
+func encodeAnalysisBlob(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("a1 %d %s\n", len(payload), hex.EncodeToString(sum[:]))
+	return append([]byte(header), payload...)
+}
+
+func decodeAnalysisBlob(data []byte) ([]byte, bool) {
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, false
+	}
+	var size int
+	var sumHex string
+	if n, err := fmt.Sscanf(string(data[:nl]), "a1 %d %s", &size, &sumHex); n != 2 || err != nil {
+		return nil, false
+	}
+	payload := data[nl+1:]
+	if size < 0 || len(payload) != size {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != sumHex {
+		return nil, false
+	}
+	return payload, true
+}
+
+// validBlob is the per-kind syntactic gate shared by the disk tier, the
+// remote client, and the blob server: two-int values for fragments and
+// classes, the checksummed envelope for analyses.
+func validBlob(kind string, data []byte) bool {
+	if kind == kindAnalysis {
+		_, ok := decodeAnalysisBlob(data)
+		return ok
+	}
+	var a, b int
+	return decodeValue(data, &a, &b)
 }
 
 // load probes the tiers below memory for key — disk first, then the remote
@@ -386,6 +513,52 @@ func (c *Cache) store(kind, key string, a, b int) {
 	}
 }
 
+// loadBytes probes the tiers below memory for one opaque-payload key —
+// disk first, then the remote blob store — returning the validated payload
+// and the tier that supplied it. A remote hit is written back to the local
+// disk tier, exactly as load does for the two-int kinds.
+func (c *Cache) loadBytes(kind, key string) ([]byte, tier) {
+	var hash string
+	if c.dir != "" || c.remote != nil {
+		hash = hashKey(key)
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(filepath.Join(c.dir, kind+hash)); err == nil {
+			if payload, ok := decodeAnalysisBlob(data); ok {
+				return payload, tierDisk
+			}
+		}
+	}
+	if c.remote != nil {
+		data, found, err := c.remote.get(kind, hash)
+		if err == nil && found {
+			if payload, ok := decodeAnalysisBlob(data); ok {
+				if c.dir != "" {
+					c.writeBlob(kind+hash, data)
+				}
+				return payload, tierRemote
+			}
+		}
+	}
+	return nil, tierNone
+}
+
+// storeBytes persists one computed opaque payload to the tiers below
+// memory, wrapped in the checksummed envelope — best-effort, like store.
+func (c *Cache) storeBytes(kind, key string, payload []byte) {
+	if c.dir == "" && c.remote == nil {
+		return
+	}
+	hash := hashKey(key)
+	data := encodeAnalysisBlob(payload)
+	if c.dir != "" {
+		c.writeBlob(kind+hash, data)
+	}
+	if c.remote != nil {
+		c.remote.put(kind, hash, data)
+	}
+}
+
 // readBlob returns the raw validated bytes of one blob from the backing
 // directory, by its on-disk name (kind prefix + key hash). Unreadable or
 // malformed files are errors, which the blob server surfaces as a 404.
@@ -394,8 +567,7 @@ func (c *Cache) readBlob(kind, hash string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var a, b int
-	if !decodeValue(data, &a, &b) {
+	if !validBlob(kind, data) {
 		return nil, fmt.Errorf("simcache: corrupt blob %s%s", kind, hash)
 	}
 	return data, nil

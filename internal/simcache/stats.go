@@ -9,6 +9,8 @@ import (
 type stats struct {
 	entryHits, entryDiskHits, entryRemoteHits, entryMisses atomic.Int64
 	classHits, classDiskHits, classRemoteHits, classMisses atomic.Int64
+	analysisHits, analysisDiskHits                         atomic.Int64
+	analysisRemoteHits, analysisMisses                     atomic.Int64
 	planHits, planMisses                                   atomic.Int64
 }
 
@@ -32,8 +34,17 @@ type Snapshot struct {
 	ClassDiskHits   int64 `json:"class_disk_hits,omitempty"`
 	ClassRemoteHits int64 `json:"class_remote_hits,omitempty"`
 	ClassMisses     int64 `json:"class_misses"`
-	PlanHits        int64 `json:"plan_hits"`
-	PlanMisses      int64 `json:"plan_misses"`
+
+	// The analysis tier arrived after the wire format froze: every field is
+	// omitempty so trailers from sweeps that never touch it stay
+	// byte-identical to older readers and writers.
+	AnalysisHits       int64 `json:"analysis_hits,omitempty"`
+	AnalysisDiskHits   int64 `json:"analysis_disk_hits,omitempty"`
+	AnalysisRemoteHits int64 `json:"analysis_remote_hits,omitempty"`
+	AnalysisMisses     int64 `json:"analysis_misses,omitempty"`
+
+	PlanHits   int64 `json:"plan_hits"`
+	PlanMisses int64 `json:"plan_misses"`
 }
 
 // Snapshot returns the current counter values.
@@ -47,8 +58,14 @@ func (c *Cache) Snapshot() Snapshot {
 		ClassDiskHits:   c.stats.classDiskHits.Load(),
 		ClassRemoteHits: c.stats.classRemoteHits.Load(),
 		ClassMisses:     c.stats.classMisses.Load(),
-		PlanHits:        c.stats.planHits.Load(),
-		PlanMisses:      c.stats.planMisses.Load(),
+
+		AnalysisHits:       c.stats.analysisHits.Load(),
+		AnalysisDiskHits:   c.stats.analysisDiskHits.Load(),
+		AnalysisRemoteHits: c.stats.analysisRemoteHits.Load(),
+		AnalysisMisses:     c.stats.analysisMisses.Load(),
+
+		PlanHits:   c.stats.planHits.Load(),
+		PlanMisses: c.stats.planMisses.Load(),
 	}
 }
 
@@ -64,8 +81,14 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		ClassDiskHits:   s.ClassDiskHits + o.ClassDiskHits,
 		ClassRemoteHits: s.ClassRemoteHits + o.ClassRemoteHits,
 		ClassMisses:     s.ClassMisses + o.ClassMisses,
-		PlanHits:        s.PlanHits + o.PlanHits,
-		PlanMisses:      s.PlanMisses + o.PlanMisses,
+
+		AnalysisHits:       s.AnalysisHits + o.AnalysisHits,
+		AnalysisDiskHits:   s.AnalysisDiskHits + o.AnalysisDiskHits,
+		AnalysisRemoteHits: s.AnalysisRemoteHits + o.AnalysisRemoteHits,
+		AnalysisMisses:     s.AnalysisMisses + o.AnalysisMisses,
+
+		PlanHits:   s.PlanHits + o.PlanHits,
+		PlanMisses: s.PlanMisses + o.PlanMisses,
 	}
 }
 
@@ -82,8 +105,14 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		ClassDiskHits:   s.ClassDiskHits - o.ClassDiskHits,
 		ClassRemoteHits: s.ClassRemoteHits - o.ClassRemoteHits,
 		ClassMisses:     s.ClassMisses - o.ClassMisses,
-		PlanHits:        s.PlanHits - o.PlanHits,
-		PlanMisses:      s.PlanMisses - o.PlanMisses,
+
+		AnalysisHits:       s.AnalysisHits - o.AnalysisHits,
+		AnalysisDiskHits:   s.AnalysisDiskHits - o.AnalysisDiskHits,
+		AnalysisRemoteHits: s.AnalysisRemoteHits - o.AnalysisRemoteHits,
+		AnalysisMisses:     s.AnalysisMisses - o.AnalysisMisses,
+
+		PlanHits:   s.PlanHits - o.PlanHits,
+		PlanMisses: s.PlanMisses - o.PlanMisses,
 	}
 }
 
@@ -104,7 +133,8 @@ func (s Snapshot) String() string {
 		}
 		return fmt.Sprintf("%d/%d", h, m)
 	}
-	return fmt.Sprintf("frag %s, class %s, plan %s",
+	return fmt.Sprintf("analysis %s, frag %s, class %s, plan %s",
+		stage(s.AnalysisHits, s.AnalysisDiskHits, s.AnalysisRemoteHits, s.AnalysisMisses),
 		stage(s.EntryHits, s.EntryDiskHits, s.EntryRemoteHits, s.EntryMisses),
 		stage(s.ClassHits, s.ClassDiskHits, s.ClassRemoteHits, s.ClassMisses),
 		stage(s.PlanHits, 0, 0, s.PlanMisses))

@@ -27,7 +27,7 @@ fi
 
 n="${1:?usage: scripts/bench.sh <n> [out-dir]  (or --extract FILE.json)}"
 outdir="${2:-.}"
-regex="${BENCH_REGEX:-BenchmarkSimulate\$|BenchmarkExplore\$|BenchmarkIncrementalSim|BenchmarkStreamReport}"
+regex="${BENCH_REGEX:-BenchmarkAnalyze\$|BenchmarkSimulate\$|BenchmarkExplore\$|BenchmarkIncrementalSim|BenchmarkStreamReport}"
 count="${BENCH_COUNT:-3}"
 btime="${BENCH_TIME:-1x}"
 
